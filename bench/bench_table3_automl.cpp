@@ -1,0 +1,132 @@
+// Reproduces paper Table III: AutoML results for Transformer (WikiText-2
+// analog, T = 94 ms and T = 104 ms) and DistilBERT (RTE analog T = 200 ms,
+// STS-B analog T = 330 ms).
+//
+// For each workload RT3 searches three sub-models {M1, M2, M3} for V/F
+// levels {l6, l4, l3}; the accuracy upper bound ("UB") trains one model per
+// pattern set individually.  The "Interrupt" row contrasts the UB's
+// full-model reload (tens of seconds) with RT3's pattern-set switch
+// (milliseconds) — the paper's ">1000x switch speedup".
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace rt3;
+
+struct WorkloadRow {
+  std::string name;
+  double timing_ms = 0.0;
+  Rt3Result result;
+  std::vector<double> ub_accuracy;
+  double model_switch_s = 0.0;
+  double pattern_switch_ms = 0.0;
+};
+
+void print_workload(const WorkloadRow& row) {
+  std::cout << "\n--- " << row.name << " (T: " << fmt_f(row.timing_ms, 0)
+            << "ms) ---\n";
+  TablePrinter t({"", "M1", "M2", "M3"});
+  const auto cells = [&](auto getter) {
+    std::vector<std::string> out;
+    for (const auto& sub : row.result.levels) {
+      out.push_back(getter(sub));
+    }
+    while (out.size() < 3) {
+      out.emplace_back("-");
+    }
+    return out;
+  };
+  auto sp = cells([](const SubModelResult& s) {
+    return fmt_pct(s.overall_sparsity);
+  });
+  t.add_row({"Sparsity", sp[0], sp[1], sp[2]});
+  auto lat = cells([](const SubModelResult& s) {
+    return fmt_f(s.latency_ms, 2);
+  });
+  t.add_row({"Latency (ms)", lat[0], lat[1], lat[2]});
+  std::vector<std::string> ub;
+  for (double a : row.ub_accuracy) {
+    ub.push_back(fmt_pct(a));
+  }
+  while (ub.size() < 3) {
+    ub.emplace_back("-");
+  }
+  t.add_row({"UB Accuracy", ub[0], ub[1], ub[2]});
+  t.add_row({"UB Interrupt", fmt_f(row.model_switch_s, 2) + " s", "", ""});
+  auto acc = cells([](const SubModelResult& s) { return fmt_pct(s.accuracy); });
+  t.add_row({"RT3 Accuracy", acc[0], acc[1], acc[2]});
+  t.add_row({"RT3 Interrupt", fmt_f(row.pattern_switch_ms, 2) + " ms", "", ""});
+  std::vector<std::string> gap;
+  for (std::size_t i = 0; i < row.result.levels.size(); ++i) {
+    const double g = row.ub_accuracy[i] - row.result.levels[i].accuracy;
+    gap.push_back(fmt_pct(g));
+  }
+  while (gap.size() < 3) {
+    gap.emplace_back("-");
+  }
+  t.add_row({"Accuracy gap", gap[0], gap[1], gap[2]});
+  std::cout << t.str();
+  std::cout << "Switch speedup (UB/RT3): "
+            << fmt_x(row.model_switch_s * 1000.0 / row.pattern_switch_ms, 0)
+            << "\n";
+}
+
+WorkloadRow run_lm_workload(double timing_ms, std::uint64_t seed) {
+  WorkloadRow row;
+  row.name = "WikiText-2 analog / Transformer";
+  row.timing_ms = timing_ms;
+  bench::LmWorkload w = bench::make_lm_workload(seed);
+  Rt3Options options = bench::bench_options(timing_ms, /*episodes=*/3);
+  Rt3LmPipeline pipeline(*w.model, *w.corpus, options,
+                         ModelSpec::paper_transformer());
+  row.result = pipeline.run();
+  TrainConfig ub_cfg = options.final_train;
+  row.ub_accuracy = bench::ub_accuracies_lm(*w.model, *w.corpus, options.bp,
+                                            row.result.chosen_sets, ub_cfg);
+  row.model_switch_s = row.result.model_switch_ms / 1000.0;
+  row.pattern_switch_ms = row.result.pattern_switch_ms;
+  return row;
+}
+
+WorkloadRow run_glue_workload(GlueTask task, double timing_ms,
+                              std::uint64_t seed) {
+  WorkloadRow row;
+  row.name = GlueDataset::task_name(task) + " analog / DistilBERT";
+  row.timing_ms = timing_ms;
+  bench::GlueWorkload w = bench::make_glue_workload(task, seed);
+  Rt3Options options = bench::bench_options(timing_ms, /*episodes=*/3);
+  Rt3GluePipeline pipeline(*w.model, *w.data, options,
+                           ModelSpec::paper_distilbert());
+  row.result = pipeline.run();
+  TrainConfig ub_cfg = options.final_train;
+  row.ub_accuracy = bench::ub_scores_glue(*w.model, *w.data, options.bp,
+                                          row.result.chosen_sets, ub_cfg);
+  row.model_switch_s = row.result.model_switch_ms / 1000.0;
+  row.pattern_switch_ms = row.result.pattern_switch_ms;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rt3;
+  bench::print_header(
+      "Table III - AutoML results (RT3 vs accuracy upper bound)",
+      "paper Table III: WikiText-2 (94/104 ms), RTE (200 ms), STS-B (330 ms)");
+
+  print_workload(run_lm_workload(94.0, 11));
+  print_workload(run_lm_workload(104.0, 12));
+  print_workload(run_glue_workload(GlueTask::kRte, 200.0, 13));
+  print_workload(run_glue_workload(GlueTask::kStsB, 330.0, 14));
+
+  std::cout
+      << "\nPaper Table III shape checks:\n"
+      << "  * every sub-model latency <= its T (real-time satisfied);\n"
+      << "  * RT3 accuracy within a few points of UB (paper: <= 2.99%);\n"
+      << "  * UB interrupt in SECONDS (51.8-66.9 s) vs RT3 in MILLISECONDS\n"
+      << "    (8.75-45 ms) -> >1000x lighter reconfiguration.\n";
+  return 0;
+}

@@ -1,0 +1,336 @@
+// Reproduces paper Table IV: ablation of the two RT3 levels on the
+// WikiText-2, RTE and STS-B analogs.
+//
+// Columns: No-Opt (dense), rBP only (random block pruning), rBP+rPP
+// (random blocks + random patterns), rBP+PP (random blocks + guided
+// patterns), BP only (Algorithm 1), RT3 (BP + RL-searched pattern sets).
+// Paper shape: BP matches rBP's runs with far less accuracy loss; PP beats
+// rPP; RT3 reaches ~4.96x runs on WikiText-2 with <1% accuracy loss.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dvfs/dvfs.hpp"
+#include "search/space.hpp"
+
+namespace {
+
+using namespace rt3;
+
+struct MethodResult {
+  std::string name;
+  double avg_sparsity = 0.0;
+  double runs = 0.0;
+  double avg_accuracy = 0.0;
+};
+
+constexpr double kBudgetMj = 1.135e8;  // same budget scale as Table II
+const std::vector<std::int64_t> kLevels = {5, 3, 2};
+
+// Runs across the three equal energy tranches for per-level sparsities.
+double runs_for(const ModelSpec& spec, const LatencyModel& latency,
+                const std::vector<double>& sparsities, ExecMode mode) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  const PowerModel power;
+  double total = 0.0;
+  for (std::size_t i = 0; i < kLevels.size(); ++i) {
+    const double s =
+        sparsities.size() == 1 ? sparsities[0] : sparsities[i];
+    const double lat = latency.latency_ms(
+        spec, s, mode, table.level(kLevels[i]).freq_mhz);
+    total += number_of_runs(kBudgetMj / 3.0,
+                            power.power_mw(table.level(kLevels[i])), lat);
+  }
+  return total;
+}
+
+// Per-level target overall sparsities that just meet T.
+std::vector<double> level_targets(const ModelSpec& spec,
+                                  const LatencyModel& latency, double t_ms,
+                                  double floor_sparsity) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  std::vector<double> out;
+  for (std::int64_t li : kLevels) {
+    out.push_back(std::max(
+        floor_sparsity,
+        latency.sparsity_for_latency(spec, ExecMode::kPattern,
+                                     table.level(li).freq_mhz, t_ms)));
+  }
+  return out;
+}
+
+void print_block(const std::string& workload, double dense_score,
+                 const std::vector<MethodResult>& methods) {
+  std::cout << "\n--- " << workload << " ---\n";
+  TablePrinter t({"Methods", "Avg. Spar.", "# runs(1e6)", "Impr.",
+                  "Avg. Acc", "Acc. loss"});
+  const double base_runs = methods.front().runs;
+  for (const auto& m : methods) {
+    t.add_row({m.name, fmt_pct(m.avg_sparsity), fmt_millions(m.runs),
+               m.name == "No-Opt" ? "-" : fmt_x(m.runs / base_runs),
+               fmt_pct(m.avg_accuracy),
+               m.name == "No-Opt" ? "-"
+                                  : fmt_pct(dense_score - m.avg_accuracy)});
+  }
+  std::cout << t.str();
+}
+
+// ---------------------------------------------------------------------------
+// LM workload ablation
+// ---------------------------------------------------------------------------
+
+std::vector<MethodResult> ablate_lm(double t_ms) {
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel latency;
+  latency.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
+
+  bench::LmWorkload base = bench::make_lm_workload(21);
+  BpConfig bp;
+  bp.num_blocks = 4;
+  bp.prune_fraction = 0.35;
+
+  TrainConfig ft;
+  ft.steps = 60;
+  ft.batch = 8;
+  ft.seq_len = 16;
+  ft.lr = 5e-3F;
+
+  std::vector<MethodResult> rows;
+
+  // No-Opt.
+  rows.push_back({"No-Opt", 0.0, runs_for(spec, latency, {0.0}, ExecMode::kDense),
+                  base.dense_accuracy});
+
+  const auto clone_base = [&]() {
+    auto clone = std::make_unique<TransformerLm>(base.model->config());
+    copy_parameters(*clone, *base.model);
+    return clone;
+  };
+
+  // rBP only.
+  {
+    auto model = clone_base();
+    ModelPruner pruner(model->prunable());
+    Rng rng(22);
+    pruner.apply_random_bp(bp, rng);
+    const double acc = train_lm(*model, *base.corpus, ft);
+    const double s = pruner.overall_sparsity();
+    rows.push_back({"rBP only", s, runs_for(spec, latency, {s}, ExecMode::kBlock),
+                    acc});
+  }
+
+  const auto pp_row = [&](const std::string& name, bool random_backbone,
+                          bool random_patterns, std::uint64_t seed) {
+    auto model = clone_base();
+    ModelPruner pruner(model->prunable());
+    Rng rng(seed);
+    if (random_backbone) {
+      pruner.apply_random_bp(bp, rng);
+    } else {
+      pruner.apply_bp(bp);
+    }
+    train_lm(*model, *base.corpus, ft);  // recover the backbone
+    const double backbone_sparsity = pruner.overall_sparsity();
+    const auto targets = level_targets(spec, latency, t_ms, backbone_sparsity);
+    std::vector<PatternSet> sets;
+    std::vector<double> sigmas;
+    for (double target : targets) {
+      PatternSet set =
+          random_patterns
+              ? random_pattern_set(8, target, 4, rng)
+              : pattern_set_from_layers(pruner.layers(), 8, target, 4, rng);
+      sigmas.push_back(pruner.apply_pattern_set(set));
+      pruner.restore_backbone();
+      sets.push_back(std::move(set));
+    }
+    const JointTrainResult joint =
+        joint_train_lm(*model, pruner, sets, *base.corpus, ft);
+    double avg_acc = 0.0;
+    double avg_sparsity = 0.0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      avg_acc += joint.per_set_accuracy[i] / static_cast<double>(sets.size());
+      avg_sparsity += sigmas[i] / static_cast<double>(sets.size());
+    }
+    rows.push_back({name, avg_sparsity,
+                    runs_for(spec, latency, sigmas, ExecMode::kPattern),
+                    avg_acc});
+  };
+
+  pp_row("rBP+rPP", true, true, 23);
+  pp_row("rBP+PP", true, false, 24);
+
+  // BP only.
+  {
+    auto model = clone_base();
+    ModelPruner pruner(model->prunable());
+    pruner.apply_bp(bp);
+    const double acc = train_lm(*model, *base.corpus, ft);
+    const double s = pruner.overall_sparsity();
+    rows.push_back({"BP only", s, runs_for(spec, latency, {s}, ExecMode::kBlock),
+                    acc});
+  }
+
+  // RT3: full pipeline.
+  {
+    auto model = clone_base();
+    Rt3Options options = bench::bench_options(t_ms, /*episodes=*/3);
+    options.bp = bp;
+    Rt3LmPipeline pipeline(*model, *base.corpus, options, spec);
+    const Rt3Result result = pipeline.run();
+    double avg_acc = 0.0;
+    double avg_sparsity = 0.0;
+    std::vector<double> sigmas;
+    for (const auto& sub : result.levels) {
+      avg_acc += sub.accuracy / static_cast<double>(result.levels.size());
+      avg_sparsity +=
+          sub.overall_sparsity / static_cast<double>(result.levels.size());
+      sigmas.push_back(sub.overall_sparsity);
+    }
+    rows.push_back({"RT3", avg_sparsity,
+                    runs_for(spec, latency, sigmas, ExecMode::kPattern),
+                    avg_acc});
+  }
+
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// GLUE workload ablation
+// ---------------------------------------------------------------------------
+
+std::vector<MethodResult> ablate_glue(GlueTask task, double t_ms,
+                                      std::uint64_t seed) {
+  const ModelSpec spec = ModelSpec::paper_distilbert();
+  LatencyModel latency;
+  latency.calibrate(spec, 0.5178, ExecMode::kPattern, 1400.0, 199.94);
+
+  bench::GlueWorkload base = bench::make_glue_workload(task, seed);
+  BpConfig bp;
+  bp.num_blocks = 4;
+  bp.prune_fraction = 0.35;
+
+  TrainConfig ft;
+  ft.steps = 50;
+  ft.batch = 16;
+  ft.lr = 5e-3F;
+
+  std::vector<MethodResult> rows;
+  rows.push_back({"No-Opt", 0.0, runs_for(spec, latency, {0.0}, ExecMode::kDense),
+                  base.dense_score});
+
+  const auto clone_base = [&]() {
+    auto clone = std::make_unique<DistilBertLike>(base.model->config());
+    copy_parameters(*clone, *base.model);
+    return clone;
+  };
+
+  {
+    auto model = clone_base();
+    ModelPruner pruner(model->prunable());
+    Rng rng(seed + 1);
+    pruner.apply_random_bp(bp, rng);
+    const double acc = train_glue(*model, *base.data, ft);
+    const double s = pruner.overall_sparsity();
+    rows.push_back({"rBP only", s, runs_for(spec, latency, {s}, ExecMode::kBlock),
+                    acc});
+  }
+
+  const auto pp_row = [&](const std::string& name, bool random_backbone,
+                          bool random_patterns, std::uint64_t s2) {
+    auto model = clone_base();
+    ModelPruner pruner(model->prunable());
+    Rng rng(s2);
+    if (random_backbone) {
+      pruner.apply_random_bp(bp, rng);
+    } else {
+      pruner.apply_bp(bp);
+    }
+    train_glue(*model, *base.data, ft);
+    const double backbone_sparsity = pruner.overall_sparsity();
+    const auto targets = level_targets(spec, latency, t_ms, backbone_sparsity);
+    std::vector<PatternSet> sets;
+    std::vector<double> sigmas;
+    for (double target : targets) {
+      PatternSet set =
+          random_patterns
+              ? random_pattern_set(8, target, 4, rng)
+              : pattern_set_from_layers(pruner.layers(), 8, target, 4, rng);
+      sigmas.push_back(pruner.apply_pattern_set(set));
+      pruner.restore_backbone();
+      sets.push_back(std::move(set));
+    }
+    const JointTrainResult joint =
+        joint_train_glue(*model, pruner, sets, *base.data, ft);
+    double avg_acc = 0.0;
+    double avg_sparsity = 0.0;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      avg_acc += joint.per_set_accuracy[i] / static_cast<double>(sets.size());
+      avg_sparsity += sigmas[i] / static_cast<double>(sets.size());
+    }
+    rows.push_back({name, avg_sparsity,
+                    runs_for(spec, latency, sigmas, ExecMode::kPattern),
+                    avg_acc});
+  };
+
+  pp_row("rBP+rPP", true, true, seed + 2);
+  pp_row("rBP+PP", true, false, seed + 3);
+
+  {
+    auto model = clone_base();
+    ModelPruner pruner(model->prunable());
+    pruner.apply_bp(bp);
+    const double acc = train_glue(*model, *base.data, ft);
+    const double s = pruner.overall_sparsity();
+    rows.push_back({"BP only", s, runs_for(spec, latency, {s}, ExecMode::kBlock),
+                    acc});
+  }
+
+  {
+    auto model = clone_base();
+    Rt3Options options = bench::bench_options(t_ms, /*episodes=*/3);
+    options.bp = bp;
+    Rt3GluePipeline pipeline(*model, *base.data, options, spec);
+    const Rt3Result result = pipeline.run();
+    double avg_acc = 0.0;
+    double avg_sparsity = 0.0;
+    std::vector<double> sigmas;
+    for (const auto& sub : result.levels) {
+      avg_acc += sub.accuracy / static_cast<double>(result.levels.size());
+      avg_sparsity +=
+          sub.overall_sparsity / static_cast<double>(result.levels.size());
+      sigmas.push_back(sub.overall_sparsity);
+    }
+    rows.push_back({"RT3", avg_sparsity,
+                    runs_for(spec, latency, sigmas, ExecMode::kPattern),
+                    avg_acc});
+  }
+
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rt3;
+  bench::print_header("Table IV - two-level ablation",
+                      "paper Table IV: No-Opt / rBP / rBP+rPP / rBP+PP / BP / RT3");
+
+  const auto lm_rows = ablate_lm(104.0);
+  print_block("WikiText-2 analog (T: 104 ms)", lm_rows.front().avg_accuracy,
+              lm_rows);
+  const auto rte_rows = ablate_glue(GlueTask::kRte, 200.0, 31);
+  print_block("RTE analog (T: 200 ms)", rte_rows.front().avg_accuracy,
+              rte_rows);
+  const auto stsb_rows = ablate_glue(GlueTask::kStsB, 330.0, 41);
+  print_block("STS-B analog (T: 330 ms)", stsb_rows.front().avg_accuracy,
+              stsb_rows);
+
+  std::cout << "\nPaper Table IV shape checks:\n"
+            << "  * BP matches rBP on runs but loses LESS accuracy "
+               "(paper: 0.64% vs 2.03% on WikiText-2);\n"
+            << "  * guided PP loses less accuracy than random rPP at equal "
+               "sparsity (paper: 4.88% vs 11.07%);\n"
+            << "  * RT3 reaches the largest runs improvement with small "
+               "accuracy loss (paper: 4.96x, 0.95%).\n";
+  return 0;
+}

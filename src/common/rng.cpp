@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  check(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t n) {
+  check(n > 0, "uniform_int: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  std::uint64_t x = next_u64();
+  while (x >= limit) {
+    x = next_u64();
+  }
+  return static_cast<std::int64_t>(x % un);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] so log is finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  check(n > 0, "zipf: n must be positive");
+  // Cumulative scan; adequate for the corpus sizes used in data synthesis.
+  double total = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  const double target = uniform() * total;
+  double acc = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (acc >= target) {
+      return k - 1;
+    }
+  }
+  return n - 1;
+}
+
+std::int64_t Rng::categorical(const std::vector<double>& weights) {
+  check(!weights.empty(), "categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    check(w >= 0.0, "categorical: negative weight");
+    total += w;
+  }
+  check(total > 0.0, "categorical: all-zero weights");
+  const double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= target) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return static_cast<std::int64_t>(weights.size()) - 1;
+}
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n,
+                                                          std::int64_t k) {
+  check(0 <= k && k <= n, "sample_without_replacement: need 0 <= k <= n");
+  std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    all[static_cast<std::size_t>(i)] = i;
+  }
+  shuffle(all);
+  all.resize(static_cast<std::size_t>(k));
+  return all;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace rt3

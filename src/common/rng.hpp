@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// All stochastic components of rt3 (data synthesis, weight init, RL action
+// sampling, random-pruning baselines) draw from rt3::Rng so that every
+// experiment in the paper-reproduction benches is bit-reproducible from a
+// single seed.  The generator is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rt3 {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Deliberately not std::mt19937: we want identical streams across
+/// platforms/libstdc++ versions, and the distributions in <random> are not
+/// specified bit-exactly.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::int64_t uniform_int(std::int64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (inverse-CDF over a
+  /// precomputed table is the caller's job for hot paths; this is the simple
+  /// rejection-free cumulative scan, fine for corpus synthesis).
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  std::int64_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::int64_t i = static_cast<std::int64_t>(v.size()) - 1; i > 0; --i) {
+      const std::int64_t j = uniform_int(i + 1);
+      std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  /// Returns k distinct indices drawn uniformly from [0, n).
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n,
+                                                       std::int64_t k);
+
+  /// Deterministically derives an independent child stream (for giving each
+  /// module its own generator from one experiment seed).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace rt3

@@ -1,0 +1,149 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  check(x.size() == y.size(), "pearson: length mismatch");
+  if (x.size() < 2) {
+    return 0.0;
+  }
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> average_ranks(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) {
+      ++j;
+    }
+    // Average rank for the tie group [i, j], 1-based ranks.
+    const double avg =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  check(x.size() == y.size(), "spearman: length mismatch");
+  if (x.size() < 2) {
+    return 0.0;
+  }
+  return pearson(average_ranks(x), average_ranks(y));
+}
+
+double accuracy(const std::vector<std::int64_t>& pred,
+                const std::vector<std::int64_t>& truth) {
+  check(pred.size() == truth.size(), "accuracy: length mismatch");
+  if (pred.empty()) {
+    return 0.0;
+  }
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    hits += (pred[i] == truth[i]) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+double f1_score(const std::vector<std::int64_t>& pred,
+                const std::vector<std::int64_t>& truth) {
+  check(pred.size() == truth.size(), "f1_score: length mismatch");
+  std::int64_t tp = 0;
+  std::int64_t fp = 0;
+  std::int64_t fn = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == 1 && truth[i] == 1) {
+      ++tp;
+    } else if (pred[i] == 1 && truth[i] == 0) {
+      ++fp;
+    } else if (pred[i] == 0 && truth[i] == 1) {
+      ++fn;
+    }
+  }
+  if (tp == 0) {
+    return 0.0;
+  }
+  const double precision =
+      static_cast<double>(tp) / static_cast<double>(tp + fp);
+  const double recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double matthews_corr(const std::vector<std::int64_t>& pred,
+                     const std::vector<std::int64_t>& truth) {
+  check(pred.size() == truth.size(), "matthews_corr: length mismatch");
+  double tp = 0;
+  double tn = 0;
+  double fp = 0;
+  double fn = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == 1 && truth[i] == 1) {
+      ++tp;
+    } else if (pred[i] == 0 && truth[i] == 0) {
+      ++tn;
+    } else if (pred[i] == 1 && truth[i] == 0) {
+      ++fp;
+    } else {
+      ++fn;
+    }
+  }
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return (tp * tn - fp * fn) / denom;
+}
+
+}  // namespace rt3

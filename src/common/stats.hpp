@@ -1,0 +1,38 @@
+// Metric and statistics helpers shared by the data tasks (GLUE-analog
+// metrics) and the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rt3 {
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double mean(const std::vector<double>& xs);
+
+/// Population variance; returns 0 for fewer than 2 elements.
+double variance(const std::vector<double>& xs);
+
+/// Pearson correlation of two equal-length vectors (0 if degenerate).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties). Used by the STS-B
+/// analog task, matching the GLUE convention in the paper.
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Classification accuracy over {0,1,...} labels.
+double accuracy(const std::vector<std::int64_t>& pred,
+                const std::vector<std::int64_t>& truth);
+
+/// Binary F1 score (positive class = 1). Used by QQP / MRPC analogs.
+double f1_score(const std::vector<std::int64_t>& pred,
+                const std::vector<std::int64_t>& truth);
+
+/// Matthews correlation coefficient for binary labels. Used by CoLA analog.
+double matthews_corr(const std::vector<std::int64_t>& pred,
+                     const std::vector<std::int64_t>& truth);
+
+/// Ranks with ties averaged, as used by spearman(); exposed for tests.
+std::vector<double> average_ranks(const std::vector<double>& xs);
+
+}  // namespace rt3

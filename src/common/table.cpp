@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check(!header_.empty(), "TablePrinter: empty header");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  check(cells.size() == header_.size(),
+        "TablePrinter: row arity does not match header");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::int64_t TablePrinter::row_count() const {
+  std::int64_t n = 0;
+  for (const auto& r : rows_) {
+    n += r.separator ? 0 : 1;
+  }
+  return n;
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) {
+        os << "  ";
+      }
+    }
+    return os.str();
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+
+  std::ostringstream os;
+  os << render_line(header_) << '\n' << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      os << render_line(row.cells) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string fmt_f(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt_f(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_x(double factor, int decimals) {
+  return fmt_f(factor, decimals) + "x";
+}
+
+std::string fmt_millions(double count, int decimals) {
+  return fmt_f(count / 1e6, decimals);
+}
+
+}  // namespace rt3

@@ -1,0 +1,54 @@
+// Plain-text table rendering used by the bench harnesses to print the
+// paper's tables/figures as aligned rows (paper value next to measured
+// value, so the shape comparison is visible at a glance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rt3 {
+
+/// Column-aligned ASCII table. Usage:
+///   TablePrinter t({"Model", "Sparsity", "Latency (ms)"});
+///   t.add_row({"M1", "70.80%", "93.55"});
+///   std::cout << t.str();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table (header, separator, rows) with 2-space padding.
+  std::string str() const;
+
+  std::int64_t row_count() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals (e.g. fmt_f(93.547, 2)
+/// == "93.55").
+std::string fmt_f(double v, int decimals);
+
+/// Formats a fraction in [0,1] as a percent string ("70.80%").
+std::string fmt_pct(double fraction, int decimals = 2);
+
+/// Formats a multiplicative factor ("4.96x").
+std::string fmt_x(double factor, int decimals = 2);
+
+/// Formats a count in millions ("2.71" for 2.71e6).
+std::string fmt_millions(double count, int decimals = 2);
+
+}  // namespace rt3

@@ -1,0 +1,48 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.accuracy >= b.accuracy && a.runs >= b.runs &&
+         (a.accuracy > b.accuracy || a.runs > b.runs);
+}
+
+bool ParetoFront::insert(const ParetoPoint& p) {
+  all_.push_back(p);
+  for (const auto& member : front_) {
+    if (dominates(member, p)) {
+      return false;
+    }
+  }
+  // Remove members the new point dominates.
+  front_.erase(std::remove_if(front_.begin(), front_.end(),
+                              [&](const ParetoPoint& member) {
+                                return dominates(p, member);
+                              }),
+               front_.end());
+  front_.push_back(p);
+  return true;
+}
+
+std::vector<ParetoPoint> ParetoFront::front() const {
+  std::vector<ParetoPoint> sorted = front_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.accuracy < b.accuracy;
+            });
+  return sorted;
+}
+
+ParetoPoint ParetoFront::best_accuracy() const {
+  check(!front_.empty(), "ParetoFront: empty front");
+  return *std::max_element(front_.begin(), front_.end(),
+                           [](const ParetoPoint& a, const ParetoPoint& b) {
+                             return a.accuracy < b.accuracy;
+                           });
+}
+
+}  // namespace rt3

@@ -1,0 +1,42 @@
+// Pareto-front bookkeeping for the search-space exploration plots
+// (paper Fig. 3(a): weighted accuracy vs number of runs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rt3 {
+
+/// One explored solution.
+struct ParetoPoint {
+  double accuracy = 0.0;  // weighted accuracy (higher better)
+  double runs = 0.0;      // number of runs (higher better)
+  std::int64_t tag = -1;  // caller-defined payload (e.g. episode index)
+};
+
+/// True if `a` dominates `b` (>= in both objectives, > in at least one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Maintains the set of non-dominated points among all inserted ones.
+class ParetoFront {
+ public:
+  /// Inserts a point; returns true if it joined the front (i.e. it is not
+  /// dominated by an existing member).
+  bool insert(const ParetoPoint& p);
+
+  /// Current front, sorted by accuracy ascending.
+  std::vector<ParetoPoint> front() const;
+
+  /// Every point ever inserted (for scatter plots).
+  const std::vector<ParetoPoint>& all() const { return all_; }
+
+  /// The front member with the highest accuracy (paper's selection rule for
+  /// P_T / P_L).  Requires a non-empty front.
+  ParetoPoint best_accuracy() const;
+
+ private:
+  std::vector<ParetoPoint> front_;
+  std::vector<ParetoPoint> all_;
+};
+
+}  // namespace rt3

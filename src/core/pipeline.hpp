@@ -1,0 +1,152 @@
+// The end-to-end RT3 pipeline (paper Fig. 1):
+//
+//   Level 1:  block-structured pruning of the pre-trained model -> fixed
+//             backbone C, brief masked fine-tune.
+//   Level 2:  build the shrunken pattern search space from C, run the RL
+//             controller for a number of episodes — each episode samples
+//             one pattern set per V/F level, checks the timing constraint
+//             with the calibrated latency model, jointly trains the shared
+//             backbone (Fig. 2) when feasible, and feeds the Eq. (1)
+//             reward back — then fine-tunes the best solution and emits a
+//             DeploymentPackage plus the exploration history (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pareto.hpp"
+#include "data/corpus.hpp"
+#include "data/glue.hpp"
+#include "dvfs/dvfs.hpp"
+#include "nn/distilbert.hpp"
+#include "nn/transformer_lm.hpp"
+#include "perf/latency_model.hpp"
+#include "pruning/model_pruner.hpp"
+#include "rl/controller.hpp"
+#include "runtime/package.hpp"
+#include "search/space.hpp"
+#include "train/trainer.hpp"
+
+namespace rt3 {
+
+/// Everything configurable about one RT3 run.
+struct Rt3Options {
+  double timing_constraint_ms = 110.0;
+  /// VfTable indices, fast -> slow (paper: {l6, l4, l3} = {5, 3, 2}).
+  std::vector<std::int64_t> level_indices = {5, 3, 2};
+  std::int64_t episodes = 10;
+  double energy_budget_mj = 5e5;
+  double min_accuracy = 0.0;  // Am; 0 = auto (0.5 * backbone accuracy)
+  double penalty = 0.25;      // pen of Eq. (1)
+
+  BpConfig bp;
+  SearchSpaceConfig space;
+  ControllerConfig controller;
+  /// Short fine-tune inside each feasible episode.
+  TrainConfig episode_train;
+  /// Longer fine-tune of the selected solution.
+  TrainConfig final_train;
+  /// Level-1 recovery fine-tune after BP.
+  TrainConfig backbone_train;
+
+  std::uint64_t seed = 99;
+};
+
+/// Per-level outcome of the selected solution.
+struct SubModelResult {
+  std::string level_name;
+  double freq_mhz = 0.0;
+  double pattern_sparsity = 0.0;
+  double overall_sparsity = 0.0;
+  double latency_ms = 0.0;
+  double accuracy = 0.0;
+  double runs = 0.0;
+};
+
+/// One explored episode (Fig. 3(a) scatter).
+struct ExploredPoint {
+  double weighted_accuracy = 0.0;
+  double total_runs = 0.0;
+  double reward = 0.0;
+  bool feasible = false;
+};
+
+/// Full result of an RT3 run.
+struct Rt3Result {
+  double original_accuracy = 0.0;   // dense pre-trained model
+  double backbone_accuracy = 0.0;   // after Level 1 (Ao)
+  double backbone_sparsity = 0.0;
+  std::vector<SubModelResult> levels;
+  std::vector<ExploredPoint> explored;
+  double total_runs = 0.0;
+  double weighted_accuracy = 0.0;
+  /// Switch costs (paper Table III "Interrupt" row).
+  double model_switch_ms = 0.0;         // UB: full model reload
+  double pattern_switch_ms = 0.0;       // RT3, device model
+  double pattern_switch_wall_ms = 0.0;  // RT3, measured on this host
+  std::vector<PatternSet> chosen_sets;
+};
+
+/// RT3 on the Transformer / WikiText-2-analog workload.
+class Rt3LmPipeline {
+ public:
+  /// `model` must already be pre-trained on `corpus`.
+  Rt3LmPipeline(TransformerLm& model, const Corpus& corpus,
+                const Rt3Options& options, ModelSpec paper_spec);
+
+  Rt3Result run();
+
+  /// Builds the deployable artifact from a finished run.
+  DeploymentPackage package(const Rt3Result& result) const;
+
+  const LatencyModel& latency_model() const { return latency_; }
+
+ private:
+  TransformerLm& model_;
+  const Corpus& corpus_;
+  Rt3Options options_;
+  ModelSpec spec_;
+  LatencyModel latency_;
+  ModelPruner pruner_;
+};
+
+/// RT3 on the DistilBERT / GLUE-analog workload.
+class Rt3GluePipeline {
+ public:
+  Rt3GluePipeline(DistilBertLike& model, const GlueDataset& data,
+                  const Rt3Options& options, ModelSpec paper_spec);
+
+  Rt3Result run();
+  DeploymentPackage package(const Rt3Result& result) const;
+
+  const LatencyModel& latency_model() const { return latency_; }
+
+ private:
+  DistilBertLike& model_;
+  const GlueDataset& data_;
+  Rt3Options options_;
+  ModelSpec spec_;
+  LatencyModel latency_;
+  ModelPruner pruner_;
+};
+
+/// Shared search core used by both pipelines (exposed for tests).
+/// `joint_train` runs Fig.-2 training over the given sets and returns
+/// per-set accuracies; `measure_sparsity` returns the composed overall
+/// sparsity for a set.
+struct SearchHooks {
+  std::function<std::vector<double>(const std::vector<PatternSet>&,
+                                    const TrainConfig&)>
+      joint_train;
+  std::function<double(const PatternSet&)> measure_sparsity;
+};
+
+Rt3Result run_rt3_search(const Rt3Options& options, const ModelSpec& spec,
+                         const LatencyModel& latency,
+                         const PatternSearchSpace& space,
+                         const SearchHooks& hooks, double original_accuracy,
+                         double backbone_accuracy, double backbone_sparsity);
+
+}  // namespace rt3

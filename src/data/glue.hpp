@@ -1,0 +1,101 @@
+// Synthetic analogs of the nine GLUE tasks used in the paper's DistilBERT
+// experiments (Fig. 5, Tables III & IV).
+//
+// Each task generates token sequences with a planted class/score signal and
+// is scored with the same metric type GLUE uses for the real task (accuracy,
+// F1, Matthews correlation, Spearman correlation).  Per-task signal/noise
+// levels are tuned so an un-pruned model's score lands near the DistilBERT
+// scores the paper plots, giving the pruning experiments a comparable
+// dynamic range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rt3 {
+
+/// The nine GLUE tasks, in the order of the paper's Fig. 5.
+enum class GlueTask : std::uint8_t {
+  kMnli,
+  kQqp,
+  kQnli,
+  kSst2,
+  kCola,
+  kStsB,
+  kMrpc,
+  kRte,
+  kWnli,
+};
+
+/// GLUE scoring convention for a task (matching paper Section IV-A).
+enum class MetricType : std::uint8_t {
+  kAccuracy,  // SST-2, QNLI, RTE, WNLI, MNLI
+  kF1,        // QQP, MRPC
+  kMcc,       // CoLA
+  kSpearman,  // STS-B
+};
+
+/// One classification/regression example (single packed token sequence; the
+/// two-sentence tasks are packed as "a .. a SEP b .. b").
+struct GlueExample {
+  std::vector<std::int64_t> tokens;
+  std::int64_t label = 0;  // classification target
+  float score = 0.0F;      // regression target (STS-B), in [0, 5]
+};
+
+/// Generation parameters for one task.
+struct GlueTaskConfig {
+  GlueTask task = GlueTask::kRte;
+  std::int64_t vocab_size = 256;
+  std::int64_t seq_len = 24;
+  std::int64_t train_size = 1600;
+  std::int64_t dev_size = 400;
+  std::uint64_t seed = 2;
+};
+
+/// A generated dataset for a single task.
+class GlueDataset {
+ public:
+  explicit GlueDataset(const GlueTaskConfig& config);
+
+  GlueTask task() const { return config_.task; }
+  MetricType metric() const;
+  /// 1 for regression (STS-B), otherwise the number of classes.
+  std::int64_t num_classes() const;
+  bool is_regression() const { return config_.task == GlueTask::kStsB; }
+
+  const std::vector<GlueExample>& train() const { return train_; }
+  const std::vector<GlueExample>& dev() const { return dev_; }
+  const GlueTaskConfig& config() const { return config_; }
+
+  /// Scores predictions on the dev set with the task's GLUE metric.
+  /// For classification pass predicted labels; for regression pass scores
+  /// through `score_predictions`.
+  double evaluate(const std::vector<std::int64_t>& predicted_labels) const;
+  double evaluate_regression(const std::vector<double>& predicted_scores) const;
+
+  static std::string task_name(GlueTask task);
+  static std::string metric_name(MetricType metric);
+
+ private:
+  GlueExample generate_example(Rng& rng) const;
+
+  GlueTaskConfig config_;
+  std::vector<GlueExample> train_;
+  std::vector<GlueExample> dev_;
+};
+
+/// Per-task difficulty profile (label-noise rate, signal density, classes).
+/// Exposed for tests: noisier tasks (RTE, WNLI, CoLA) must stay noisier.
+struct GlueTaskProfile {
+  std::int64_t num_classes = 2;
+  double label_noise = 0.1;     // probability the planted label is flipped
+  double signal_density = 0.3;  // fraction of tokens carrying class signal
+};
+
+GlueTaskProfile glue_task_profile(GlueTask task);
+
+}  // namespace rt3

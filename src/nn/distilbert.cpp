@@ -1,0 +1,183 @@
+#include "nn/distilbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+DistilBertLike::DistilBertLike(const DistilBertConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  token_embedding_ =
+      Var(Tensor::randn({config.vocab_size, config.d_model}, rng, 0.05F),
+          /*requires_grad=*/true);
+  pos_ = std::make_unique<PositionalEncoding>(config.max_seq_len,
+                                              config.d_model);
+  for (std::int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<EncoderLayer>(
+        config.d_model, config.num_heads, config.ffn_hidden, rng));
+  }
+  final_norm_ = std::make_unique<LayerNormLayer>(config.d_model);
+  pooler_ = std::make_unique<Linear>(config.d_model, config.d_model, rng);
+  head_ = std::make_unique<Linear>(config.d_model, config.num_outputs, rng);
+}
+
+Var DistilBertLike::forward(const std::vector<std::int64_t>& ids,
+                            std::int64_t batch, std::int64_t seq_len) const {
+  check(static_cast<std::int64_t>(ids.size()) == batch * seq_len,
+        "DistilBertLike::forward: id count mismatch");
+  const std::int64_t d = config_.d_model;
+  Var x = embedding(token_embedding_, ids);
+  x = reshape(x, {batch, seq_len, d});
+  x = pos_->forward(x);
+  for (const auto& layer : layers_) {
+    x = layer->forward(x, /*causal=*/false);
+  }
+  x = final_norm_->forward(x);
+
+  // Mean-pool over time via a constant projection [T*D, D] so no dedicated
+  // reduction op is needed: out[b, j] = mean_t x[b, t, j].
+  Tensor pool({seq_len * d, d});
+  const float inv_t = 1.0F / static_cast<float>(seq_len);
+  for (std::int64_t t = 0; t < seq_len; ++t) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      pool[(t * d + j) * d + j] = inv_t;
+    }
+  }
+  Var flat = reshape(x, {batch, seq_len * d});
+  Var pooled = matmul(flat, Var(pool, /*requires_grad=*/false));
+  pooled = tanh_v(pooler_->forward(pooled));
+  return head_->forward(pooled);  // [B, num_outputs]
+}
+
+Var DistilBertLike::classification_loss(
+    const std::vector<GlueExample>& examples) const {
+  check(!examples.empty(), "classification_loss: empty batch");
+  const std::int64_t seq_len =
+      static_cast<std::int64_t>(examples.front().tokens.size());
+  std::vector<std::int64_t> ids;
+  std::vector<std::int64_t> labels;
+  ids.reserve(examples.size() * static_cast<std::size_t>(seq_len));
+  for (const auto& ex : examples) {
+    check(static_cast<std::int64_t>(ex.tokens.size()) == seq_len,
+          "classification_loss: ragged batch");
+    ids.insert(ids.end(), ex.tokens.begin(), ex.tokens.end());
+    labels.push_back(ex.label);
+  }
+  Var logits =
+      forward(ids, static_cast<std::int64_t>(examples.size()), seq_len);
+  return cross_entropy(logits, labels);
+}
+
+Var DistilBertLike::regression_loss(
+    const std::vector<GlueExample>& examples) const {
+  check(!examples.empty(), "regression_loss: empty batch");
+  check(config_.num_outputs == 1, "regression_loss: model has classes");
+  const std::int64_t seq_len =
+      static_cast<std::int64_t>(examples.front().tokens.size());
+  std::vector<std::int64_t> ids;
+  Tensor target({static_cast<std::int64_t>(examples.size()), 1});
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    ids.insert(ids.end(), examples[i].tokens.begin(),
+               examples[i].tokens.end());
+    target[static_cast<std::int64_t>(i)] = examples[i].score / 5.0F;
+  }
+  Var pred = forward(ids, static_cast<std::int64_t>(examples.size()), seq_len);
+  return mse_loss(pred, target);
+}
+
+Var DistilBertLike::loss(const GlueDataset& data,
+                         const std::vector<GlueExample>& batch) const {
+  return data.is_regression() ? regression_loss(batch)
+                              : classification_loss(batch);
+}
+
+std::vector<std::int64_t> DistilBertLike::predict_labels(
+    const std::vector<GlueExample>& examples) const {
+  std::vector<std::int64_t> out;
+  out.reserve(examples.size());
+  // Batched prediction in chunks to bound memory.
+  const std::size_t chunk = 64;
+  for (std::size_t start = 0; start < examples.size(); start += chunk) {
+    const std::size_t end = std::min(examples.size(), start + chunk);
+    const std::int64_t b = static_cast<std::int64_t>(end - start);
+    const std::int64_t seq_len =
+        static_cast<std::int64_t>(examples[start].tokens.size());
+    std::vector<std::int64_t> ids;
+    ids.reserve(static_cast<std::size_t>(b * seq_len));
+    for (std::size_t i = start; i < end; ++i) {
+      ids.insert(ids.end(), examples[i].tokens.begin(),
+                 examples[i].tokens.end());
+    }
+    Var logits = forward(ids, b, seq_len);
+    for (std::int64_t r = 0; r < b; ++r) {
+      const float* row = logits.value().data() + r * config_.num_outputs;
+      std::int64_t best = 0;
+      for (std::int64_t c = 1; c < config_.num_outputs; ++c) {
+        if (row[c] > row[best]) {
+          best = c;
+        }
+      }
+      out.push_back(best);
+    }
+  }
+  return out;
+}
+
+std::vector<double> DistilBertLike::predict_scores(
+    const std::vector<GlueExample>& examples) const {
+  check(config_.num_outputs == 1, "predict_scores: model has classes");
+  std::vector<double> out;
+  out.reserve(examples.size());
+  const std::size_t chunk = 64;
+  for (std::size_t start = 0; start < examples.size(); start += chunk) {
+    const std::size_t end = std::min(examples.size(), start + chunk);
+    const std::int64_t b = static_cast<std::int64_t>(end - start);
+    const std::int64_t seq_len =
+        static_cast<std::int64_t>(examples[start].tokens.size());
+    std::vector<std::int64_t> ids;
+    for (std::size_t i = start; i < end; ++i) {
+      ids.insert(ids.end(), examples[i].tokens.begin(),
+                 examples[i].tokens.end());
+    }
+    Var pred = forward(ids, b, seq_len);
+    for (std::int64_t r = 0; r < b; ++r) {
+      out.push_back(5.0 * static_cast<double>(pred.value()[r]));
+    }
+  }
+  return out;
+}
+
+double DistilBertLike::evaluate(const GlueDataset& data) const {
+  if (data.is_regression()) {
+    return data.evaluate_regression(predict_scores(data.dev()));
+  }
+  return data.evaluate(predict_labels(data.dev()));
+}
+
+void DistilBertLike::collect_params(const std::string& prefix,
+                                    std::vector<NamedParam>& out) const {
+  out.push_back({prefix + "token_embedding", token_embedding_});
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->collect_params(prefix + "layer." + std::to_string(i) + ".",
+                               out);
+  }
+  final_norm_->collect_params(prefix + "final_norm.", out);
+  pooler_->collect_params(prefix + "pooler.", out);
+  head_->collect_params(prefix + "head.", out);
+}
+
+std::vector<Linear*> DistilBertLike::prunable() {
+  std::vector<Linear*> out;
+  for (auto& layer : layers_) {
+    for (Linear* l : layer->prunable()) {
+      out.push_back(l);
+    }
+  }
+  out.push_back(pooler_.get());
+  return out;
+}
+
+}  // namespace rt3

@@ -1,0 +1,213 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+LayerNormLayer::LayerNormLayer(std::int64_t dim)
+    : gamma_(Tensor::ones({dim}), /*requires_grad=*/true),
+      beta_(Tensor::zeros({dim}), /*requires_grad=*/true) {}
+
+Var LayerNormLayer::forward(const Var& x) const {
+  return layer_norm(x, gamma_, beta_);
+}
+
+void LayerNormLayer::collect_params(const std::string& prefix,
+                                    std::vector<NamedParam>& out) const {
+  out.push_back({prefix + "gamma", gamma_});
+  out.push_back({prefix + "beta", beta_});
+}
+
+PositionalEncoding::PositionalEncoding(std::int64_t max_len, std::int64_t dim)
+    : table_({max_len, dim}) {
+  for (std::int64_t pos = 0; pos < max_len; ++pos) {
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const double angle =
+          static_cast<double>(pos) /
+          std::pow(10000.0, 2.0 * static_cast<double>(i / 2) /
+                                static_cast<double>(dim));
+      table_[pos * dim + i] = static_cast<float>(
+          (i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+    }
+  }
+}
+
+Var PositionalEncoding::forward(const Var& x) const {
+  check(x.shape().size() == 3, "PositionalEncoding: expected [B,T,D]");
+  const std::int64_t b = x.shape()[0];
+  const std::int64_t t = x.shape()[1];
+  const std::int64_t d = x.shape()[2];
+  check(t <= table_.size(0), "PositionalEncoding: sequence too long");
+  check(d == table_.size(1), "PositionalEncoding: dim mismatch");
+  Tensor pos({b, t, d});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ti = 0; ti < t; ++ti) {
+      for (std::int64_t di = 0; di < d; ++di) {
+        pos[(bi * t + ti) * d + di] = table_[ti * d + di];
+      }
+    }
+  }
+  return add_const(x, pos);
+}
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t num_heads,
+                                       Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  check(dim % num_heads == 0, "MultiHeadAttention: dim % heads != 0");
+  wq_ = std::make_unique<Linear>(dim, dim, rng);
+  wk_ = std::make_unique<Linear>(dim, dim, rng);
+  wv_ = std::make_unique<Linear>(dim, dim, rng);
+  wo_ = std::make_unique<Linear>(dim, dim, rng);
+}
+
+Var MultiHeadAttention::forward(const Var& query, const Var& key,
+                                const Var& value, bool causal) const {
+  check(query.shape().size() == 3, "MHA: expected [B,T,D]");
+  const std::int64_t b = query.shape()[0];
+  const std::int64_t tq = query.shape()[1];
+  const std::int64_t tk = key.shape()[1];
+  check(key.shape()[0] == b && value.shape()[0] == b, "MHA: batch mismatch");
+  check(value.shape()[1] == tk, "MHA: key/value length mismatch");
+  if (causal) {
+    check(tq == tk, "MHA: causal attention needs square scores");
+  }
+
+  // Project and split heads: [B,T,D] -> [B*H, T, head_dim].
+  const auto split = [&](const Var& x, std::int64_t t) {
+    Var h = reshape(x, {b, t, num_heads_, head_dim_});
+    h = permute(h, {0, 2, 1, 3});  // [B,H,T,hd]
+    return reshape(h, {b * num_heads_, t, head_dim_});
+  };
+  Var q = split(wq_->forward(query), tq);
+  Var k = split(wk_->forward(key), tk);
+  Var v = split(wv_->forward(value), tk);
+
+  Var scores = bmm(q, transpose_last2(k));  // [B*H, Tq, Tk]
+  scores = scale(scores, 1.0F / std::sqrt(static_cast<float>(head_dim_)));
+
+  if (causal) {
+    Tensor mask({b * num_heads_, tq, tk});
+    for (std::int64_t bh = 0; bh < b * num_heads_; ++bh) {
+      for (std::int64_t i = 0; i < tq; ++i) {
+        for (std::int64_t j = i + 1; j < tk; ++j) {
+          mask[(bh * tq + i) * tk + j] = -1e9F;
+        }
+      }
+    }
+    scores = add_const(scores, mask);
+  }
+
+  Var attn = softmax_lastdim(scores);
+  Var ctx = bmm(attn, v);  // [B*H, Tq, hd]
+  ctx = reshape(ctx, {b, num_heads_, tq, head_dim_});
+  ctx = permute(ctx, {0, 2, 1, 3});  // [B,Tq,H,hd]
+  ctx = reshape(ctx, {b, tq, dim_});
+  return wo_->forward(ctx);
+}
+
+void MultiHeadAttention::collect_params(const std::string& prefix,
+                                        std::vector<NamedParam>& out) const {
+  wq_->collect_params(prefix + "wq.", out);
+  wk_->collect_params(prefix + "wk.", out);
+  wv_->collect_params(prefix + "wv.", out);
+  wo_->collect_params(prefix + "wo.", out);
+}
+
+std::vector<Linear*> MultiHeadAttention::prunable() {
+  return {wq_.get(), wk_.get(), wv_.get(), wo_.get()};
+}
+
+FeedForward::FeedForward(std::int64_t dim, std::int64_t hidden, Rng& rng) {
+  fc1_ = std::make_unique<Linear>(dim, hidden, rng);
+  fc2_ = std::make_unique<Linear>(hidden, dim, rng);
+}
+
+Var FeedForward::forward(const Var& x) const {
+  return fc2_->forward(gelu(fc1_->forward(x)));
+}
+
+void FeedForward::collect_params(const std::string& prefix,
+                                 std::vector<NamedParam>& out) const {
+  fc1_->collect_params(prefix + "fc1.", out);
+  fc2_->collect_params(prefix + "fc2.", out);
+}
+
+std::vector<Linear*> FeedForward::prunable() {
+  return {fc1_.get(), fc2_.get()};
+}
+
+EncoderLayer::EncoderLayer(std::int64_t dim, std::int64_t num_heads,
+                           std::int64_t ffn_hidden, Rng& rng) {
+  attn_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
+  ffn_ = std::make_unique<FeedForward>(dim, ffn_hidden, rng);
+  norm1_ = std::make_unique<LayerNormLayer>(dim);
+  norm2_ = std::make_unique<LayerNormLayer>(dim);
+}
+
+Var EncoderLayer::forward(const Var& x, bool causal) const {
+  Var h = norm1_->forward(x);
+  Var attn_out = attn_->forward(h, h, h, causal);
+  Var x1 = add(x, attn_out);
+  Var h2 = norm2_->forward(x1);
+  return add(x1, ffn_->forward(h2));
+}
+
+void EncoderLayer::collect_params(const std::string& prefix,
+                                  std::vector<NamedParam>& out) const {
+  attn_->collect_params(prefix + "attn.", out);
+  ffn_->collect_params(prefix + "ffn.", out);
+  norm1_->collect_params(prefix + "norm1.", out);
+  norm2_->collect_params(prefix + "norm2.", out);
+}
+
+std::vector<Linear*> EncoderLayer::prunable() {
+  std::vector<Linear*> out = attn_->prunable();
+  for (Linear* l : ffn_->prunable()) {
+    out.push_back(l);
+  }
+  return out;
+}
+
+DecoderLayer::DecoderLayer(std::int64_t dim, std::int64_t num_heads,
+                           std::int64_t ffn_hidden, Rng& rng) {
+  self_attn_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
+  cross_attn_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
+  ffn_ = std::make_unique<FeedForward>(dim, ffn_hidden, rng);
+  norm1_ = std::make_unique<LayerNormLayer>(dim);
+  norm2_ = std::make_unique<LayerNormLayer>(dim);
+  norm3_ = std::make_unique<LayerNormLayer>(dim);
+}
+
+Var DecoderLayer::forward(const Var& x, const Var& memory) const {
+  Var h1 = norm1_->forward(x);
+  Var x1 = add(x, self_attn_->forward(h1, h1, h1, /*causal=*/true));
+  Var h2 = norm2_->forward(x1);
+  Var x2 = add(x1, cross_attn_->forward(h2, memory, memory, /*causal=*/false));
+  Var h3 = norm3_->forward(x2);
+  return add(x2, ffn_->forward(h3));
+}
+
+void DecoderLayer::collect_params(const std::string& prefix,
+                                  std::vector<NamedParam>& out) const {
+  self_attn_->collect_params(prefix + "self_attn.", out);
+  cross_attn_->collect_params(prefix + "cross_attn.", out);
+  ffn_->collect_params(prefix + "ffn.", out);
+  norm1_->collect_params(prefix + "norm1.", out);
+  norm2_->collect_params(prefix + "norm2.", out);
+  norm3_->collect_params(prefix + "norm3.", out);
+}
+
+std::vector<Linear*> DecoderLayer::prunable() {
+  std::vector<Linear*> out = self_attn_->prunable();
+  for (Linear* l : cross_attn_->prunable()) {
+    out.push_back(l);
+  }
+  for (Linear* l : ffn_->prunable()) {
+    out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace rt3

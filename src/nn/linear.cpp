@@ -1,0 +1,100 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  check(in_features > 0 && out_features > 0, "Linear: bad dimensions");
+  // Xavier/Glorot init.
+  const float bound =
+      std::sqrt(6.0F / static_cast<float>(in_features + out_features));
+  weight_ = Var(
+      Tensor::rand_uniform({in_features, out_features}, rng, -bound, bound),
+      /*requires_grad=*/true);
+  bias_ = Var(Tensor::zeros({out_features}), /*requires_grad=*/true);
+}
+
+Var Linear::forward(const Var& x) const {
+  const Shape in_shape = x.shape();
+  check(!in_shape.empty() && in_shape.back() == in_features_,
+        "Linear: input feature dimension mismatch");
+
+  Var w = weight_;
+  if (mask_.has_value()) {
+    w = mul_const(weight_, *mask_);
+  }
+
+  Var x2 = x;
+  const bool need_flatten = in_shape.size() != 2;
+  std::int64_t rows = 1;
+  for (std::size_t d = 0; d + 1 < in_shape.size(); ++d) {
+    rows *= in_shape[d];
+  }
+  if (need_flatten) {
+    x2 = reshape(x, {rows, in_features_});
+  }
+  Var y = matmul(x2, w);
+  if (has_bias_) {
+    y = add(y, bias_);
+  }
+  if (need_flatten) {
+    Shape out_shape = in_shape;
+    out_shape.back() = out_features_;
+    y = reshape(y, std::move(out_shape));
+  }
+  return y;
+}
+
+void Linear::collect_params(const std::string& prefix,
+                            std::vector<NamedParam>& out) const {
+  out.push_back({prefix + "weight", weight_});
+  if (has_bias_) {
+    out.push_back({prefix + "bias", bias_});
+  }
+}
+
+void Linear::set_mask(Tensor mask) {
+  check(mask.shape() == weight_.shape(), "Linear::set_mask: shape mismatch");
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    check(mask[i] == 0.0F || mask[i] == 1.0F,
+          "Linear::set_mask: mask must be binary");
+  }
+  // Forward-time masking only: the underlying weight values stay resident
+  // so a different pattern set can re-expose them (RT3's lightweight
+  // switch).  Call apply_mask_to_weights() explicitly to hard-zero, e.g.
+  // when exporting a backbone.
+  mask_ = std::move(mask);
+}
+
+void Linear::clear_mask() { mask_.reset(); }
+
+const Tensor& Linear::mask() const {
+  check(mask_.has_value(), "Linear::mask: no mask installed");
+  return *mask_;
+}
+
+double Linear::mask_sparsity() const {
+  if (!mask_.has_value()) {
+    return 0.0;
+  }
+  return mask_->sparsity();
+}
+
+void Linear::apply_mask_to_weights() {
+  if (!mask_.has_value()) {
+    return;
+  }
+  Tensor& w = weight_.mutable_value();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] *= (*mask_)[i];
+  }
+}
+
+}  // namespace rt3

@@ -1,0 +1,61 @@
+// The paper's "Transformer" workload: a small encoder-decoder language
+// model (2 encoder layers + 1 decoder layer, matching Section IV-A)
+// trained for next-word prediction on the WikiText-2 analog corpus.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace rt3 {
+
+struct TransformerLmConfig {
+  std::int64_t vocab_size = 512;
+  std::int64_t d_model = 64;
+  std::int64_t num_heads = 4;
+  std::int64_t ffn_hidden = 128;
+  std::int64_t num_encoder_layers = 2;
+  std::int64_t num_decoder_layers = 1;
+  std::int64_t max_seq_len = 64;
+  std::uint64_t seed = 3;
+};
+
+/// Encoder-decoder LM.  All attention/FFN projections plus the LM head are
+/// prunable (the LM head is the analog of the paper's giant vocab-projection
+/// matrix).
+class TransformerLm : public Module {
+ public:
+  explicit TransformerLm(const TransformerLmConfig& config);
+
+  /// ids: batch*seq_len token ids -> logits [batch*seq_len, vocab].
+  Var forward(const std::vector<std::int64_t>& ids, std::int64_t batch,
+              std::int64_t seq_len) const;
+
+  /// Mean cross-entropy of next-token prediction on one batch.
+  Var loss(const LmBatch& batch) const;
+
+  /// Top-1 next-word accuracy over `max_batches` deterministic batches.
+  double evaluate(const LmBatcher& batcher, std::int64_t max_batches) const;
+
+  void collect_params(const std::string& prefix,
+                      std::vector<NamedParam>& out) const override;
+
+  /// Layers subject to BP/PP (attention + FFN + LM head).
+  std::vector<Linear*> prunable();
+
+  const TransformerLmConfig& config() const { return config_; }
+
+ private:
+  TransformerLmConfig config_;
+  Var token_embedding_;  // [V, D]
+  std::unique_ptr<PositionalEncoding> pos_;
+  std::vector<std::unique_ptr<EncoderLayer>> encoders_;
+  std::vector<std::unique_ptr<DecoderLayer>> decoders_;
+  std::unique_ptr<LayerNormLayer> final_norm_;
+  std::unique_ptr<Linear> lm_head_;  // [D, V]
+};
+
+}  // namespace rt3

@@ -1,0 +1,84 @@
+#include "perf/model_spec.hpp"
+
+namespace rt3 {
+
+std::int64_t ModelSpec::total_weights() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) {
+    n += l.rows * l.cols;
+  }
+  return n;
+}
+
+double ModelSpec::dense_macs() const {
+  double macs = 0.0;
+  for (const auto& l : layers) {
+    macs += 2.0 * static_cast<double>(l.rows) * static_cast<double>(l.cols) *
+            static_cast<double>(l.uses_per_token * tokens_per_inference);
+  }
+  return macs;
+}
+
+std::int64_t ModelSpec::num_tiles(std::int64_t psize) const {
+  std::int64_t tiles = 0;
+  for (const auto& l : layers) {
+    const std::int64_t tr = (l.rows + psize - 1) / psize;
+    const std::int64_t tc = (l.cols + psize - 1) / psize;
+    tiles += tr * tc;
+  }
+  return tiles;
+}
+
+namespace {
+
+void add_attention_block(ModelSpec& spec, const std::string& prefix,
+                         std::int64_t d) {
+  spec.layers.push_back({prefix + ".wq", d, d, 1});
+  spec.layers.push_back({prefix + ".wk", d, d, 1});
+  spec.layers.push_back({prefix + ".wv", d, d, 1});
+  spec.layers.push_back({prefix + ".wo", d, d, 1});
+}
+
+void add_ffn_block(ModelSpec& spec, const std::string& prefix, std::int64_t d,
+                   std::int64_t hidden) {
+  spec.layers.push_back({prefix + ".fc1", d, hidden, 1});
+  spec.layers.push_back({prefix + ".fc2", hidden, d, 1});
+}
+
+}  // namespace
+
+ModelSpec ModelSpec::paper_transformer() {
+  ModelSpec spec;
+  spec.name = "Transformer(WikiText-2)";
+  spec.tokens_per_inference = 35;  // standard bptt window for WikiText-2
+  const std::int64_t d = 800;
+  const std::int64_t ffn = 3200;
+  for (int i = 0; i < 2; ++i) {
+    const std::string p = "encoder." + std::to_string(i);
+    add_attention_block(spec, p + ".attn", d);
+    add_ffn_block(spec, p + ".ffn", d, ffn);
+  }
+  add_attention_block(spec, "decoder.0.self_attn", d);
+  add_attention_block(spec, "decoder.0.cross_attn", d);
+  add_ffn_block(spec, "decoder.0.ffn", d, ffn);
+  // The vocab projection the paper quotes as 28785 x 800.
+  spec.layers.push_back({"lm_head", d, 28785, 1});
+  return spec;
+}
+
+ModelSpec ModelSpec::paper_distilbert() {
+  ModelSpec spec;
+  spec.name = "DistilBERT";
+  spec.tokens_per_inference = 128;  // GLUE sequence length
+  const std::int64_t d = 768;
+  const std::int64_t ffn = 3072;
+  for (int i = 0; i < 6; ++i) {
+    const std::string p = "layer." + std::to_string(i);
+    add_attention_block(spec, p + ".attn", d);
+    add_ffn_block(spec, p + ".ffn", d, ffn);
+  }
+  spec.layers.push_back({"pre_classifier", d, d, 1});
+  return spec;
+}
+
+}  // namespace rt3

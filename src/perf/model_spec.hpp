@@ -1,0 +1,52 @@
+// Paper-scale model descriptions used by the analytic performance models.
+//
+// Accuracy in this repo comes from reduced-scale trained models (see
+// DESIGN.md substitutions); latency and energy come from these
+// paper-scale layer shapes, mirroring how the paper itself predicts
+// latency with a compiler-side performance model (component #4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rt3 {
+
+/// One weight matrix participating in inference.
+struct LayerSpec {
+  std::string name;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  /// How many times this matrix multiplies an activation per inferred
+  /// token (cross-attention in the decoder runs once per token too).
+  std::int64_t uses_per_token = 1;
+};
+
+/// A full model: its weight matrices and the tokens processed per
+/// inference request.
+struct ModelSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+  std::int64_t tokens_per_inference = 32;
+
+  std::int64_t total_weights() const;
+  std::int64_t dense_bytes() const { return total_weights() * 4; }
+
+  /// Dense multiply-accumulate operations for one inference.
+  double dense_macs() const;
+
+  /// Count of psize x psize tiles across all weight matrices (for pattern
+  /// assignment payloads).  Layers not divisible by psize round up.
+  std::int64_t num_tiles(std::int64_t psize) const;
+
+  /// The paper's WikiText-2 Transformer: 2 encoder + 1 decoder layers,
+  /// d_model 800, vocab-projection 28785 x 800 (the dimension quoted in
+  /// Section III-C).
+  static ModelSpec paper_transformer();
+
+  /// The paper's DistilBERT: 6 encoder layers, H = 768, A = 12 heads,
+  /// 30522-token vocabulary.
+  static ModelSpec paper_distilbert();
+};
+
+}  // namespace rt3

@@ -1,0 +1,262 @@
+#include "pruning/block_prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+namespace {
+
+// l2 norms of each column within each row-block: result[b][c].
+std::vector<std::vector<double>> block_column_norms(const Tensor& weight,
+                                                    std::int64_t num_blocks) {
+  check(weight.dim() == 2, "block pruning: need 2-D weight");
+  const std::int64_t rows = weight.size(0);
+  const std::int64_t cols = weight.size(1);
+  check(num_blocks > 0 && rows % num_blocks == 0,
+        "block pruning: rows must divide evenly into num_blocks");
+  const std::int64_t block_rows = rows / num_blocks;
+  std::vector<std::vector<double>> norms(
+      static_cast<std::size_t>(num_blocks),
+      std::vector<double>(static_cast<std::size_t>(cols), 0.0));
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    for (std::int64_t r = b * block_rows; r < (b + 1) * block_rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const double v = weight[r * cols + c];
+        norms[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)] +=
+            v * v;
+      }
+    }
+    for (auto& n : norms[static_cast<std::size_t>(b)]) {
+      n = std::sqrt(n);
+    }
+  }
+  return norms;
+}
+
+// Marks `mask` columns of block b as zero.
+void zero_block_column(Tensor& mask, std::int64_t num_blocks, std::int64_t b,
+                       std::int64_t c) {
+  const std::int64_t rows = mask.size(0);
+  const std::int64_t cols = mask.size(1);
+  const std::int64_t block_rows = rows / num_blocks;
+  for (std::int64_t r = b * block_rows; r < (b + 1) * block_rows; ++r) {
+    mask[r * cols + c] = 0.0F;
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> bp_pruned_counts(const Tensor& weight,
+                                           const BpConfig& config) {
+  const auto norms = block_column_norms(weight, config.num_blocks);
+  const std::int64_t cols = weight.size(1);
+  std::vector<std::int64_t> counts;
+  counts.reserve(norms.size());
+  for (const auto& block : norms) {
+    std::int64_t pruned = 0;
+    if (config.mode == BpConfig::Mode::kThreshold) {
+      for (double n : block) {
+        pruned += (n < config.threshold) ? 1 : 0;
+      }
+    } else {
+      pruned = static_cast<std::int64_t>(
+          std::floor(config.prune_fraction * static_cast<double>(cols)));
+      pruned = std::clamp<std::int64_t>(pruned, 0, cols);
+    }
+    counts.push_back(pruned);
+  }
+  return counts;
+}
+
+namespace {
+
+Tensor bp_mask_columns(const Tensor& weight, const BpConfig& config);
+
+}  // namespace
+
+Tensor bp_mask(const Tensor& weight, const BpConfig& config) {
+  switch (config.dim) {
+    case BpConfig::Dim::kColumns:
+      return bp_mask_columns(weight, config);
+    case BpConfig::Dim::kRows:
+      // Row pruning inside column-wise blocks == column pruning on the
+      // transpose.
+      return transpose2d(bp_mask_columns(transpose2d(weight), config));
+    case BpConfig::Dim::kBoth: {
+      const Tensor col_mask = bp_mask_columns(weight, config);
+      const Tensor row_mask =
+          transpose2d(bp_mask_columns(transpose2d(weight), config));
+      return mul(col_mask, row_mask);
+    }
+  }
+  throw CheckError("bp_mask: unknown dim");
+}
+
+namespace {
+
+Tensor bp_mask_columns(const Tensor& weight, const BpConfig& config) {
+  const auto norms = block_column_norms(weight, config.num_blocks);
+  const std::int64_t cols = weight.size(1);
+  Tensor mask = Tensor::ones(weight.shape());
+
+  for (std::size_t b = 0; b < norms.size(); ++b) {
+    const auto& block = norms[b];
+    if (config.mode == BpConfig::Mode::kThreshold) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (block[static_cast<std::size_t>(c)] < config.threshold) {
+          zero_block_column(mask, config.num_blocks,
+                            static_cast<std::int64_t>(b), c);
+        }
+      }
+    } else {
+      // Percentile: prune the lowest-norm prune_fraction of columns.
+      const std::int64_t pruned = static_cast<std::int64_t>(
+          std::floor(config.prune_fraction * static_cast<double>(cols)));
+      std::vector<std::int64_t> order(static_cast<std::size_t>(cols));
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::int64_t x, std::int64_t y) {
+                         return block[static_cast<std::size_t>(x)] <
+                                block[static_cast<std::size_t>(y)];
+                       });
+      for (std::int64_t k = 0; k < pruned; ++k) {
+        zero_block_column(mask, config.num_blocks,
+                          static_cast<std::int64_t>(b),
+                          order[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  return mask;
+}
+
+Tensor rbp_mask_columns(const Tensor& weight, const BpConfig& config,
+                        Rng& rng) {
+  const auto counts = bp_pruned_counts(weight, config);
+  const std::int64_t cols = weight.size(1);
+  Tensor mask = Tensor::ones(weight.shape());
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const auto victims =
+        rng.sample_without_replacement(cols, counts[b]);
+    for (std::int64_t c : victims) {
+      zero_block_column(mask, config.num_blocks, static_cast<std::int64_t>(b),
+                        c);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+Tensor rbp_mask(const Tensor& weight, const BpConfig& config, Rng& rng) {
+  switch (config.dim) {
+    case BpConfig::Dim::kColumns:
+      return rbp_mask_columns(weight, config, rng);
+    case BpConfig::Dim::kRows:
+      return transpose2d(rbp_mask_columns(transpose2d(weight), config, rng));
+    case BpConfig::Dim::kBoth: {
+      const Tensor col_mask = rbp_mask_columns(weight, config, rng);
+      const Tensor row_mask =
+          transpose2d(rbp_mask_columns(transpose2d(weight), config, rng));
+      return mul(col_mask, row_mask);
+    }
+  }
+  throw CheckError("rbp_mask: unknown dim");
+}
+
+Tensor unstructured_mask(const Tensor& weight, double sparsity) {
+  check(weight.dim() == 2, "unstructured_mask: need 2-D weight");
+  check(sparsity >= 0.0 && sparsity <= 1.0,
+        "unstructured_mask: sparsity out of range");
+  const std::int64_t total = weight.numel();
+  const auto pruned = static_cast<std::int64_t>(
+      std::floor(sparsity * static_cast<double>(total)));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(total));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return std::abs(weight[a]) < std::abs(weight[b]);
+                   });
+  Tensor mask = Tensor::ones(weight.shape());
+  for (std::int64_t k = 0; k < pruned; ++k) {
+    mask[order[static_cast<std::size_t>(k)]] = 0.0F;
+  }
+  return mask;
+}
+
+std::vector<float> reweighting_coefficients(const Tensor& weight,
+                                            std::int64_t num_blocks,
+                                            float eps) {
+  const auto norms = block_column_norms(weight, num_blocks);
+  std::vector<float> out;
+  out.reserve(norms.size() * norms.front().size());
+  for (const auto& block : norms) {
+    for (double n : block) {
+      out.push_back(1.0F / (static_cast<float>(n) + eps));
+    }
+  }
+  return out;
+}
+
+Var group_lasso_penalty(const Var& weight, std::int64_t num_blocks,
+                        const std::vector<float>& group_weights, float eps) {
+  const Tensor& w = weight.value();
+  check(w.dim() == 2, "group_lasso_penalty: need 2-D weight");
+  const std::int64_t rows = w.size(0);
+  const std::int64_t cols = w.size(1);
+  check(rows % num_blocks == 0, "group_lasso_penalty: bad block count");
+  const std::int64_t block_rows = rows / num_blocks;
+  const std::int64_t num_groups = num_blocks * cols;
+  check(group_weights.empty() ||
+            static_cast<std::int64_t>(group_weights.size()) == num_groups,
+        "group_lasso_penalty: group weight arity mismatch");
+
+  // Forward: sum_g coeff_g * ||group_g||_2  (plus eps inside the sqrt for a
+  // smooth gradient at zero).
+  std::vector<float> group_norms(static_cast<std::size_t>(num_groups));
+  double penalty = 0.0;
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      double sq = 0.0;
+      for (std::int64_t r = b * block_rows; r < (b + 1) * block_rows; ++r) {
+        sq += static_cast<double>(w[r * cols + c]) * w[r * cols + c];
+      }
+      const float norm = static_cast<float>(std::sqrt(sq + eps * eps));
+      const std::int64_t g = b * cols + c;
+      group_norms[static_cast<std::size_t>(g)] = norm;
+      const float coeff =
+          group_weights.empty() ? 1.0F
+                                : group_weights[static_cast<std::size_t>(g)];
+      penalty += static_cast<double>(coeff) * norm;
+    }
+  }
+
+  const std::vector<float> coeffs = group_weights;
+  const Tensor w_copy = w;
+  return Var::make_op(
+      Tensor::scalar(static_cast<float>(penalty)), {weight},
+      [w_copy, group_norms, coeffs, num_blocks, block_rows, cols](
+          const Tensor& g, std::vector<Var>& ps) {
+        Tensor gw(w_copy.shape());
+        for (std::int64_t b = 0; b < num_blocks; ++b) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const std::int64_t grp = b * cols + c;
+            const float norm = group_norms[static_cast<std::size_t>(grp)];
+            const float coeff =
+                coeffs.empty() ? 1.0F
+                               : coeffs[static_cast<std::size_t>(grp)];
+            for (std::int64_t r = b * block_rows; r < (b + 1) * block_rows;
+                 ++r) {
+              gw[r * cols + c] =
+                  g[0] * coeff * w_copy[r * cols + c] / norm;
+            }
+          }
+        }
+        ps[0].accumulate_grad(gw);
+      });
+}
+
+}  // namespace rt3

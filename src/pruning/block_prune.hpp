@@ -1,0 +1,79 @@
+// Level-1 block-structured pruning (paper Algorithm 1) and its random
+// baseline rBP (Table IV), plus the reweighted group-lasso regularizer the
+// paper uses to orchestrate BP during training.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/var.hpp"
+
+namespace rt3 {
+
+/// Configuration for Algorithm 1.
+struct BpConfig {
+  /// Block count k: row-wise blocks for column pruning, column-wise blocks
+  /// for row pruning (and both for kBoth).
+  std::int64_t num_blocks = 4;
+
+  enum class Mode : std::uint8_t {
+    /// Prune groups whose l2 norm is below `threshold` (Algorithm 1).
+    kThreshold,
+    /// Prune the lowest `prune_fraction` of groups per block ("pre-set
+    /// percentile, decided by lots of experiments").
+    kPercentile,
+  };
+  Mode mode = Mode::kPercentile;
+
+  /// Which structures are pruned inside blocks.  The paper's example uses
+  /// column pruning and notes it "can be generalized to apply row pruning
+  /// or both row and column pruning".
+  enum class Dim : std::uint8_t {
+    kColumns,  // row-wise blocks, prune columns (paper's Fig. 1 example)
+    kRows,     // column-wise blocks, prune rows
+    kBoth,     // apply both; masks intersect
+  };
+  Dim dim = Dim::kColumns;
+
+  double threshold = 0.05;
+  double prune_fraction = 0.5;
+};
+
+/// Binary mask implementing Algorithm 1 on one weight matrix: rows are
+/// divided into `num_blocks` blocks; within each block, columns whose l2
+/// norm falls below the cut are zeroed.
+Tensor bp_mask(const Tensor& weight, const BpConfig& config);
+
+/// Random baseline (rBP): prunes the SAME number of columns per block as
+/// bp_mask would, but chooses them uniformly at random.
+Tensor rbp_mask(const Tensor& weight, const BpConfig& config, Rng& rng);
+
+/// Number of columns Algorithm 1 would prune in each block (exposed so
+/// rbp_mask can match counts and tests can verify them).
+std::vector<std::int64_t> bp_pruned_counts(const Tensor& weight,
+                                           const BpConfig& config);
+
+/// Reweighted group-lasso penalty over within-block columns:
+///   sum_blocks sum_cols  w_g * ||W[block, col]||_2,
+/// where the reweighting w_g = 1 / (||group||_2 + eps) is refreshed by the
+/// caller between epochs (pass empty weights for uniform).  Differentiable
+/// via a custom backward; drives small column groups toward zero so
+/// Algorithm 1's threshold cut loses less accuracy.
+Var group_lasso_penalty(const Var& weight, std::int64_t num_blocks,
+                        const std::vector<float>& group_weights = {},
+                        float eps = 1e-4F);
+
+/// The reweighting coefficients 1/(||group||+eps) for the current weight
+/// values, in block-major column order.
+std::vector<float> reweighting_coefficients(const Tensor& weight,
+                                            std::int64_t num_blocks,
+                                            float eps = 1e-4F);
+
+/// Magnitude-based unstructured pruning at the given sparsity — the
+/// irregular-sparsity baseline of the paper's Challenge 1.  Executable only
+/// via per-element-indexed formats (COO/CSR), hence its ExecMode::kIrregular
+/// latency overhead.
+Tensor unstructured_mask(const Tensor& weight, double sparsity);
+
+}  // namespace rt3

@@ -1,0 +1,89 @@
+#include "pruning/model_pruner.hpp"
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+ModelPruner::ModelPruner(std::vector<Linear*> layers)
+    : layers_(std::move(layers)) {
+  check(!layers_.empty(), "ModelPruner: no layers");
+  for (Linear* l : layers_) {
+    check(l != nullptr, "ModelPruner: null layer");
+  }
+}
+
+void ModelPruner::apply_bp(const BpConfig& config) {
+  backbone_masks_.clear();
+  backbone_masks_.reserve(layers_.size());
+  for (Linear* l : layers_) {
+    Tensor mask = bp_mask(l->weight().value(), config);
+    l->set_mask(mask);
+    backbone_masks_.push_back(std::move(mask));
+  }
+}
+
+void ModelPruner::apply_random_bp(const BpConfig& config, Rng& rng) {
+  backbone_masks_.clear();
+  backbone_masks_.reserve(layers_.size());
+  for (Linear* l : layers_) {
+    Tensor mask = rbp_mask(l->weight().value(), config, rng);
+    l->set_mask(mask);
+    backbone_masks_.push_back(std::move(mask));
+  }
+}
+
+void ModelPruner::freeze_backbone() {
+  backbone_masks_.clear();
+  backbone_masks_.reserve(layers_.size());
+  for (Linear* l : layers_) {
+    backbone_masks_.push_back(l->has_mask()
+                                  ? l->mask()
+                                  : Tensor::ones(l->weight().shape()));
+  }
+}
+
+double ModelPruner::apply_pattern_set(const PatternSet& set) {
+  check(has_backbone(), "ModelPruner: backbone not frozen yet");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Linear* l = layers_[i];
+    // Select patterns on the backbone-masked weights (paper chooses per
+    // block on the fixed backbone C).
+    Tensor masked_weight = mul(l->weight().value(), backbone_masks_[i]);
+    Tensor pattern_mask = pattern_mask_for_weight(masked_weight, set);
+    // Composed mask: entry survives only if both keep it.
+    Tensor composed = mul(pattern_mask, backbone_masks_[i]);
+    l->set_mask(std::move(composed));
+  }
+  return overall_sparsity();
+}
+
+void ModelPruner::restore_backbone() {
+  check(has_backbone(), "ModelPruner: backbone not frozen yet");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->set_mask(backbone_masks_[i]);
+  }
+}
+
+double ModelPruner::overall_sparsity() const {
+  std::int64_t zeros = 0;
+  std::int64_t total = 0;
+  for (const Linear* l : layers_) {
+    const std::int64_t n = l->weight().numel();
+    total += n;
+    if (l->has_mask()) {
+      zeros += n - l->mask().count_nonzero();
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+std::int64_t ModelPruner::total_weights() const {
+  std::int64_t total = 0;
+  for (const Linear* l : layers_) {
+    total += l->weight().numel();
+  }
+  return total;
+}
+
+}  // namespace rt3

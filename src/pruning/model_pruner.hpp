@@ -1,0 +1,63 @@
+// Model-level pruning orchestration: installs Level-1 backbone masks on a
+// model's prunable layers and composes Level-2 pattern masks on top.
+//
+// This realizes the RT3 run-time contract: the backbone mask is fixed once
+// (Level 1); switching a V/F level re-composes backbone AND pattern masks —
+// weights themselves never move.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "pruning/block_prune.hpp"
+#include "pruning/pattern_prune.hpp"
+
+namespace rt3 {
+
+/// Manages pruning state for a set of prunable layers.
+class ModelPruner {
+ public:
+  explicit ModelPruner(std::vector<Linear*> layers);
+
+  /// Level 1: installs Algorithm-1 block masks on every layer and records
+  /// them as the fixed backbone.
+  void apply_bp(const BpConfig& config);
+
+  /// Level-1 random baseline (rBP): same per-block prune counts, random
+  /// column choices.
+  void apply_random_bp(const BpConfig& config, Rng& rng);
+
+  /// Marks the CURRENT masks (or dense, if none) as the backbone without
+  /// further pruning — used by the "no BP" ablations.
+  void freeze_backbone();
+
+  /// Level 2: composes `backbone AND pattern` masks; the pattern for each
+  /// tile is chosen on the backbone-masked weights.  Returns the resulting
+  /// overall weight sparsity.
+  double apply_pattern_set(const PatternSet& set);
+
+  /// Drops the Level-2 masks, restoring backbone-only masks.
+  void restore_backbone();
+
+  /// True once apply_bp / apply_random_bp / freeze_backbone has run.
+  bool has_backbone() const { return !backbone_masks_.empty(); }
+
+  /// Overall fraction of masked (zero) weight entries across layers.
+  double overall_sparsity() const;
+
+  /// Total prunable parameter count.
+  std::int64_t total_weights() const;
+
+  /// Bytes of all prunable dense weights (for full-model switch costs).
+  std::int64_t dense_weight_bytes() const { return total_weights() * 4; }
+
+  const std::vector<Linear*>& layers() const { return layers_; }
+  const std::vector<Tensor>& backbone_masks() const { return backbone_masks_; }
+
+ private:
+  std::vector<Linear*> layers_;
+  std::vector<Tensor> backbone_masks_;
+};
+
+}  // namespace rt3

@@ -1,0 +1,97 @@
+#include "rl/controller.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+RlController::RlController(const ControllerConfig& config) : config_(config) {
+  check(config_.num_levels >= 1, "RlController: need at least one level");
+  check(config_.num_sparsity_choices >= 1 && config_.num_variants >= 1,
+        "RlController: empty action space");
+  Rng rng(config_.seed);
+  gru_ = std::make_unique<GruCell>(config_.hidden_dim, config_.hidden_dim, rng);
+  step_embeddings_ =
+      Var(Tensor::randn({2 * config_.num_levels, config_.hidden_dim}, rng,
+                        0.2F),
+          /*requires_grad=*/true);
+  sparsity_head_ = std::make_unique<Linear>(config_.hidden_dim,
+                                            config_.num_sparsity_choices, rng);
+  variant_head_ =
+      std::make_unique<Linear>(config_.hidden_dim, config_.num_variants, rng);
+  optimizer_ = std::make_unique<Adam>(parameters(), config_.learning_rate);
+}
+
+EpisodeSample RlController::sample(Rng& rng) const { return roll(&rng); }
+
+EpisodeSample RlController::sample_greedy() const { return roll(nullptr); }
+
+EpisodeSample RlController::roll(Rng* rng) const {
+  EpisodeSample episode;
+  episode.log_prob_sum = Var(Tensor::scalar(0.0F));
+  Var h = gru_->initial_state(1);
+
+  const auto act = [&](const Linear& head, std::int64_t step) {
+    Var x = embedding(step_embeddings_, {step});  // [1, hidden]
+    h = gru_->forward(x, h);
+    Var logits = head.forward(h);  // [1, K]
+    Var logp = log_softmax_lastdim(logits);
+    const std::int64_t k = logits.shape()[1];
+
+    std::int64_t choice = 0;
+    if (rng != nullptr) {
+      std::vector<double> probs(static_cast<std::size_t>(k));
+      for (std::int64_t i = 0; i < k; ++i) {
+        probs[static_cast<std::size_t>(i)] =
+            std::exp(static_cast<double>(logp.value()[i]));
+      }
+      choice = rng->categorical(probs);
+    } else {
+      for (std::int64_t i = 1; i < k; ++i) {
+        if (logp.value()[i] > logp.value()[choice]) {
+          choice = i;
+        }
+      }
+    }
+    Tensor onehot({1, k});
+    onehot[choice] = 1.0F;
+    episode.log_prob_sum =
+        add(episode.log_prob_sum, sum_all(mul_const(logp, onehot)));
+    return choice;
+  };
+
+  for (std::int64_t level = 0; level < config_.num_levels; ++level) {
+    episode.sparsity_choice.push_back(act(*sparsity_head_, 2 * level));
+    episode.variant_choice.push_back(act(*variant_head_, 2 * level + 1));
+  }
+  return episode;
+}
+
+double RlController::update(const EpisodeSample& episode, double reward) {
+  if (!baseline_initialized_) {
+    baseline_ = reward;
+    baseline_initialized_ = true;
+  }
+  const double advantage = reward - baseline_;
+  baseline_ = config_.baseline_decay * baseline_ +
+              (1.0 - config_.baseline_decay) * reward;
+
+  optimizer_->zero_grad();
+  Var loss = scale(episode.log_prob_sum, static_cast<float>(-advantage));
+  loss.backward();
+  auto params = parameters();
+  clip_grad_norm(params, 5.0F);
+  optimizer_->step();
+  return advantage;
+}
+
+void RlController::collect_params(const std::string& prefix,
+                                  std::vector<NamedParam>& out) const {
+  out.push_back({prefix + "step_embeddings", step_embeddings_});
+  gru_->collect_params(prefix + "gru.", out);
+  sparsity_head_->collect_params(prefix + "sparsity_head.", out);
+  variant_head_->collect_params(prefix + "variant_head.", out);
+}
+
+}  // namespace rt3

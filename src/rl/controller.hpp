@@ -1,0 +1,75 @@
+// RNN policy controller (paper component #2).
+//
+// For each of the N selected V/F levels the controller emits two actions
+// from softmax heads over the shrunken search space (component #3): the
+// sparsity-candidate index and the pattern-set variant index.  Actions are
+// sampled autoregressively — each step feeds the previous action's
+// embedding through a GRU — and trained with REINFORCE against the Eq. (1)
+// reward, using a moving-average baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rl/gru.hpp"
+#include "tensor/optim.hpp"
+
+namespace rt3 {
+
+struct ControllerConfig {
+  std::int64_t num_levels = 3;
+  /// Size of the sparsity-candidate grid (theta * N in the paper).
+  std::int64_t num_sparsity_choices = 9;
+  /// Pattern-set variants per sparsity candidate.
+  std::int64_t num_variants = 3;
+  std::int64_t hidden_dim = 32;
+  float learning_rate = 5e-3F;
+  float baseline_decay = 0.7F;
+  std::uint64_t seed = 11;
+};
+
+/// One sampled episode: per-level (sparsity index, variant index) actions.
+struct EpisodeSample {
+  std::vector<std::int64_t> sparsity_choice;  // size num_levels
+  std::vector<std::int64_t> variant_choice;   // size num_levels
+  /// Sum of log-probabilities of all sampled actions (graph root for the
+  /// REINFORCE update).
+  Var log_prob_sum;
+};
+
+class RlController : public Module {
+ public:
+  explicit RlController(const ControllerConfig& config);
+
+  /// Samples one episode's actions.
+  EpisodeSample sample(Rng& rng) const;
+
+  /// Greedy (argmax) episode, used to extract the final policy.
+  EpisodeSample sample_greedy() const;
+
+  /// REINFORCE update: loss = -(reward - baseline) * log_prob_sum.
+  /// Returns the advantage used.
+  double update(const EpisodeSample& episode, double reward);
+
+  double baseline() const { return baseline_; }
+  const ControllerConfig& config() const { return config_; }
+
+  void collect_params(const std::string& prefix,
+                      std::vector<NamedParam>& out) const override;
+
+ private:
+  EpisodeSample roll(Rng* rng) const;
+
+  ControllerConfig config_;
+  std::unique_ptr<GruCell> gru_;
+  /// Embedding per action step (2 per level), input to the GRU.
+  Var step_embeddings_;  // [2*num_levels, hidden]
+  std::unique_ptr<Linear> sparsity_head_;
+  std::unique_ptr<Linear> variant_head_;
+  std::unique_ptr<Adam> optimizer_;
+  double baseline_ = 0.0;
+  bool baseline_initialized_ = false;
+};
+
+}  // namespace rt3

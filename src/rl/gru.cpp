@@ -1,0 +1,38 @@
+#include "rl/gru.hpp"
+
+namespace rt3 {
+
+GruCell::GruCell(std::int64_t input_dim, std::int64_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  wz_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  uz_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, /*bias=*/false);
+  wr_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  ur_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, /*bias=*/false);
+  wn_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  un_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, /*bias=*/false);
+}
+
+Var GruCell::forward(const Var& x, const Var& h) const {
+  Var z = sigmoid(add(wz_->forward(x), uz_->forward(h)));
+  Var r = sigmoid(add(wr_->forward(x), ur_->forward(h)));
+  Var n = tanh_v(add(wn_->forward(x), un_->forward(mul(r, h))));
+  // h' = (1 - z) * h + z * n
+  Var one_minus_z = add_scalar(neg(z), 1.0F);
+  return add(mul(one_minus_z, h), mul(z, n));
+}
+
+Var GruCell::initial_state(std::int64_t batch) const {
+  return Var(Tensor::zeros({batch, hidden_dim_}));
+}
+
+void GruCell::collect_params(const std::string& prefix,
+                             std::vector<NamedParam>& out) const {
+  wz_->collect_params(prefix + "wz.", out);
+  uz_->collect_params(prefix + "uz.", out);
+  wr_->collect_params(prefix + "wr.", out);
+  ur_->collect_params(prefix + "ur.", out);
+  wn_->collect_params(prefix + "wn.", out);
+  un_->collect_params(prefix + "un.", out);
+}
+
+}  // namespace rt3

@@ -1,0 +1,67 @@
+#include "rl/reward.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+RewardResult compute_reward(const RewardInputs& inputs) {
+  check(!inputs.latencies_ms.empty(), "compute_reward: no levels");
+  check(inputs.runs.size() == inputs.latencies_ms.size(),
+        "compute_reward: runs arity mismatch");
+  check(inputs.runs_reference > 0.0, "compute_reward: bad runs reference");
+
+  RewardResult result;
+  for (double r : inputs.runs) {
+    result.total_runs += r;
+  }
+  result.runs_reward =
+      std::clamp(result.total_runs / inputs.runs_reference, 0.0, 1.0);
+
+  result.feasible = true;
+  for (double lat : inputs.latencies_ms) {
+    if (lat > inputs.timing_constraint_ms) {
+      result.feasible = false;
+      break;
+    }
+  }
+  if (!result.feasible) {
+    // Case 1: timing violated somewhere -> no fine-tuning, flat penalty.
+    result.value = -1.0 + result.runs_reward;
+    return result;
+  }
+
+  check(inputs.accuracies.size() == inputs.latencies_ms.size(),
+        "compute_reward: feasible episode needs accuracies");
+  std::vector<double> weights = inputs.level_weights;
+  if (weights.empty()) {
+    weights.assign(inputs.accuracies.size(),
+                   1.0 / static_cast<double>(inputs.accuracies.size()));
+  }
+  check(weights.size() == inputs.accuracies.size(),
+        "compute_reward: weight arity mismatch");
+
+  for (std::size_t i = 0; i < inputs.accuracies.size(); ++i) {
+    result.weighted_accuracy += weights[i] * inputs.accuracies[i];
+  }
+
+  // cond: accuracies strictly ordered with the fastest level most accurate.
+  result.ordering_ok = true;
+  for (std::size_t i = 0; i + 1 < inputs.accuracies.size(); ++i) {
+    if (inputs.accuracies[i] <= inputs.accuracies[i + 1]) {
+      result.ordering_ok = false;
+      break;
+    }
+  }
+
+  const double denom =
+      std::max(inputs.backbone_accuracy - inputs.min_accuracy, 1e-9);
+  const double acc_term =
+      (result.weighted_accuracy - inputs.min_accuracy) / denom;
+  result.value = acc_term + result.runs_reward -
+                 (result.ordering_ok ? 0.0 : inputs.penalty);
+  return result;
+}
+
+}  // namespace rt3

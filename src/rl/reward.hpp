@@ -1,0 +1,51 @@
+// The RT3 reward function, Eq. (1) of the paper:
+//
+//   R = -1 + R_runs                                   if any lat_i > T
+//   R = (Aw - Am) / (Ao - Am) + R_runs                if feasible & cond
+//   R = (Aw - Am) / (Ao - Am) - pen + R_runs          otherwise
+//
+// where Aw is the level-weighted accuracy, Ao the Level-1 backbone
+// accuracy, Am a preset floor, cond requires accuracies to DECREASE with
+// the level index (M1 for the fastest level must be the most accurate),
+// and R_runs is the number-of-runs reward normalized to [0, 1].
+#pragma once
+
+#include <vector>
+
+namespace rt3 {
+
+struct RewardInputs {
+  /// Per-level latency (ms), index 0 = fastest V/F level (M1).
+  std::vector<double> latencies_ms;
+  /// Per-level accuracy after joint training (empty if infeasible —
+  /// the paper skips fine-tuning when the timing constraint fails).
+  std::vector<double> accuracies;
+  /// Per-level number of runs within the level's energy tranche.
+  std::vector<double> runs;
+  /// Real-time constraint T (ms).
+  double timing_constraint_ms = 100.0;
+  /// Ao: accuracy of the Level-1 backbone.
+  double backbone_accuracy = 1.0;
+  /// Am: preset accuracy floor.
+  double min_accuracy = 0.0;
+  /// alpha_i weights for Aw (defaults to uniform if empty).
+  std::vector<double> level_weights;
+  /// Normalizer mapping total runs into [0, 1].
+  double runs_reference = 1.0;
+  /// pen in Eq. (1).
+  double penalty = 0.25;
+};
+
+struct RewardResult {
+  double value = 0.0;
+  bool feasible = false;       // all latencies <= T
+  bool ordering_ok = false;    // cond of Eq. (1)
+  double weighted_accuracy = 0.0;
+  double runs_reward = 0.0;    // R_runs in [0, 1]
+  double total_runs = 0.0;
+};
+
+/// Evaluates Eq. (1).
+RewardResult compute_reward(const RewardInputs& inputs);
+
+}  // namespace rt3

@@ -1,0 +1,185 @@
+#include "runtime/package.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x525433504B473031ULL;  // "RT3PKG01"
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check(is.good(), "package: truncated file (u64)");
+  return v;
+}
+
+void write_f64(std::ofstream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+double read_f64(std::ifstream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check(is.good(), "package: truncated file (f64)");
+  return v;
+}
+
+void write_string(std::ofstream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& is) {
+  const std::uint64_t n = read_u64(is);
+  check(n < (1ULL << 20), "package: absurd string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  check(is.good(), "package: truncated file (string)");
+  return s;
+}
+
+void write_tensor(std::ofstream& os, const Tensor& t) {
+  write_u64(os, static_cast<std::uint64_t>(t.dim()));
+  for (std::int64_t d = 0; d < t.dim(); ++d) {
+    write_u64(os, static_cast<std::uint64_t>(t.size(d)));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * 4));
+}
+
+Tensor read_tensor(std::ifstream& is) {
+  const std::uint64_t dim = read_u64(is);
+  check(dim <= 8, "package: absurd tensor rank");
+  Shape shape;
+  for (std::uint64_t d = 0; d < dim; ++d) {
+    shape.push_back(static_cast<std::int64_t>(read_u64(is)));
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * 4));
+  check(is.good(), "package: truncated file (tensor)");
+  return t;
+}
+
+void write_pattern_set(std::ofstream& os, const PatternSet& set) {
+  write_u64(os, set.patterns.size());
+  for (const auto& p : set.patterns) {
+    write_u64(os, static_cast<std::uint64_t>(p.psize()));
+    os.write(reinterpret_cast<const char*>(p.bits().data()),
+             static_cast<std::streamsize>(p.bits().size()));
+  }
+}
+
+PatternSet read_pattern_set(std::ifstream& is) {
+  PatternSet set;
+  const std::uint64_t n = read_u64(is);
+  check(n < (1ULL << 16), "package: absurd pattern count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto psize = static_cast<std::int64_t>(read_u64(is));
+    check(psize > 0 && psize <= 1024, "package: absurd psize");
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(psize * psize));
+    is.read(reinterpret_cast<char*>(bits.data()),
+            static_cast<std::streamsize>(bits.size()));
+    check(is.good(), "package: truncated file (pattern)");
+    set.patterns.emplace_back(psize, std::move(bits));
+  }
+  return set;
+}
+
+}  // namespace
+
+std::int64_t DeploymentPackage::resident_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& t : params) {
+    bytes += t.numel() * 4;
+  }
+  for (const auto& m : backbone_masks) {
+    bytes += (m.numel() + 7) / 8;  // masks pack to bitmaps on device
+  }
+  return bytes;
+}
+
+std::int64_t DeploymentPackage::switch_bytes(std::int64_t level_index) const {
+  check(level_index >= 0 &&
+            level_index < static_cast<std::int64_t>(pattern_sets.size()),
+        "DeploymentPackage: level index out of range");
+  return pattern_sets[static_cast<std::size_t>(level_index)].storage_bytes();
+}
+
+void DeploymentPackage::save(const std::string& path) const {
+  check(param_names.size() == params.size(),
+        "DeploymentPackage: param name/tensor mismatch");
+  check(prunable_names.size() == backbone_masks.size(),
+        "DeploymentPackage: mask name/tensor mismatch");
+  check(pattern_sets.size() == levels.size(),
+        "DeploymentPackage: set/level mismatch");
+  std::ofstream os(path, std::ios::binary);
+  check(os.good(), "DeploymentPackage: cannot open " + path);
+  write_u64(os, kMagic);
+  write_u64(os, params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    write_string(os, param_names[i]);
+    write_tensor(os, params[i]);
+  }
+  write_u64(os, backbone_masks.size());
+  for (std::size_t i = 0; i < backbone_masks.size(); ++i) {
+    write_string(os, prunable_names[i]);
+    write_tensor(os, backbone_masks[i]);
+  }
+  write_u64(os, pattern_sets.size());
+  for (std::size_t i = 0; i < pattern_sets.size(); ++i) {
+    write_pattern_set(os, pattern_sets[i]);
+    const LevelMeta& m = levels[i];
+    write_string(os, m.level_name);
+    write_f64(os, m.freq_mhz);
+    write_f64(os, m.pattern_sparsity);
+    write_f64(os, m.overall_sparsity);
+    write_f64(os, m.latency_ms);
+    write_f64(os, m.accuracy);
+  }
+  check(os.good(), "DeploymentPackage: write failed");
+}
+
+DeploymentPackage DeploymentPackage::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  check(is.good(), "DeploymentPackage: cannot open " + path);
+  check(read_u64(is) == kMagic, "DeploymentPackage: bad magic");
+  DeploymentPackage pkg;
+  const std::uint64_t np = read_u64(is);
+  check(np < (1ULL << 20), "package: absurd param count");
+  for (std::uint64_t i = 0; i < np; ++i) {
+    pkg.param_names.push_back(read_string(is));
+    pkg.params.push_back(read_tensor(is));
+  }
+  const std::uint64_t nm = read_u64(is);
+  check(nm < (1ULL << 20), "package: absurd mask count");
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    pkg.prunable_names.push_back(read_string(is));
+    pkg.backbone_masks.push_back(read_tensor(is));
+  }
+  const std::uint64_t ns = read_u64(is);
+  check(ns < (1ULL << 10), "package: absurd set count");
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    pkg.pattern_sets.push_back(read_pattern_set(is));
+    LevelMeta m;
+    m.level_name = read_string(is);
+    m.freq_mhz = read_f64(is);
+    m.pattern_sparsity = read_f64(is);
+    m.overall_sparsity = read_f64(is);
+    m.latency_ms = read_f64(is);
+    m.accuracy = read_f64(is);
+    pkg.levels.push_back(std::move(m));
+  }
+  return pkg;
+}
+
+}  // namespace rt3

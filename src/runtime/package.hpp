@@ -1,0 +1,48 @@
+// Deployment package: everything a device needs to run RT3 — the backbone
+// weights, the fixed Level-1 masks, and one pattern set per V/F level —
+// with a compact binary serialization.  The size split between "backbone
+// bytes" (loaded once) and "pattern set bytes" (swapped per switch) is the
+// storage argument behind the paper's millisecond reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/pattern.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+
+/// Metadata for one V/F level's sub-model.
+struct LevelMeta {
+  std::string level_name;
+  double freq_mhz = 0.0;
+  double pattern_sparsity = 0.0;
+  double overall_sparsity = 0.0;
+  double latency_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Serializable deployment artifact.
+struct DeploymentPackage {
+  /// Named backbone parameters (weights after Level-1 + joint training).
+  std::vector<std::string> param_names;
+  std::vector<Tensor> params;
+  /// Level-1 masks for the prunable layers (parallel to `prunable_names`).
+  std::vector<std::string> prunable_names;
+  std::vector<Tensor> backbone_masks;
+  /// One pattern set per V/F level (fast -> slow).
+  std::vector<PatternSet> pattern_sets;
+  std::vector<LevelMeta> levels;
+
+  /// Bytes of the resident part (params + backbone masks, bitmask-packed).
+  std::int64_t resident_bytes() const;
+  /// Bytes that must move on a level switch (that level's pattern set).
+  std::int64_t switch_bytes(std::int64_t level_index) const;
+
+  void save(const std::string& path) const;
+  static DeploymentPackage load(const std::string& path);
+};
+
+}  // namespace rt3

@@ -1,0 +1,140 @@
+#include "search/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "pruning/pattern_prune.hpp"
+
+namespace rt3 {
+
+Tensor importance_from_layers(const std::vector<Linear*>& layers,
+                              std::int64_t psize, Rng& rng) {
+  check(!layers.empty(), "importance_from_layers: no layers");
+  Tensor importance({psize, psize});
+  for (const Linear* layer : layers) {
+    const Tensor& w = layer->weight().value();
+    if (w.size(0) % psize != 0 || w.size(1) % psize != 0) {
+      continue;  // layers not tileable at this psize don't contribute
+    }
+    // Honour the backbone mask: importance must reflect the fixed model C.
+    Tensor masked = layer->has_mask() ? mul(w, layer->mask()) : w;
+    const Tensor layer_imp = pattern_importance_map(
+        masked, psize,
+        std::max<std::int64_t>(
+            1, (w.size(0) / psize) * (w.size(1) / psize) / 2),
+        rng);
+    importance.add_(layer_imp);
+  }
+  return importance;
+}
+
+PatternSet pattern_set_from_layers(const std::vector<Linear*>& layers,
+                                   std::int64_t psize, double sparsity,
+                                   std::int64_t m, Rng& rng) {
+  const std::int64_t kept = kept_for_sparsity(psize, sparsity);
+  PatternSet set;
+  set.patterns.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const Tensor imp = importance_from_layers(layers, psize, rng);
+    set.patterns.push_back(Pattern::from_importance(imp, kept));
+  }
+  return set;
+}
+
+namespace {
+
+// Pattern sparsity needed on top of the backbone so the COMPOSED model
+// reaches `target_overall`.  Pattern assignment maximizes retained l2 on
+// the backbone-masked weights, so kept pattern positions ALIGN with
+// backbone-kept positions and the composed sparsity is bounded below by
+// the pattern sparsity itself (composed kept = |K_backbone ∩ K_pattern| <=
+// |K_pattern|).  Targeting the overall ratio directly is therefore
+// conservative: the measured composed sparsity meets or exceeds it.
+double pattern_sparsity_for_overall(double target_overall,
+                                    double backbone_sparsity) {
+  if (target_overall <= backbone_sparsity) {
+    return 0.05;  // nearly-dense pattern: backbone already satisfies T
+  }
+  return std::clamp(target_overall, 0.05, 0.95);
+}
+
+}  // namespace
+
+PatternSearchSpace PatternSearchSpace::build(
+    const SearchSpaceConfig& config, const std::vector<VfLevel>& levels,
+    const ModelSpec& spec, const LatencyModel& latency,
+    const std::vector<Linear*>& backbone_layers, double backbone_sparsity) {
+  check(!levels.empty(), "PatternSearchSpace: no levels");
+  check(config.theta >= 1, "PatternSearchSpace: theta must be >= 1");
+
+  PatternSearchSpace space;
+  std::vector<double> grid;
+  // Ring k tightens the constraint: T * (1 - k * tighten_step).
+  for (std::int64_t k = 0; k < config.theta; ++k) {
+    const double t =
+        config.timing_constraint_ms * (1.0 - config.tighten_step *
+                                                 static_cast<double>(k));
+    for (const VfLevel& level : levels) {
+      const double overall = latency.sparsity_for_latency(
+          spec, config.exec_mode, level.freq_mhz, t);
+      grid.push_back(
+          pattern_sparsity_for_overall(overall, backbone_sparsity));
+    }
+  }
+  std::sort(grid.begin(), grid.end());
+  // Dedup with a tolerance: candidates within 1% sparsity are redundant.
+  for (double s : grid) {
+    if (space.sparsity_grid_.empty() ||
+        s > space.sparsity_grid_.back() + 0.01) {
+      space.sparsity_grid_.push_back(s);
+    }
+  }
+
+  space.num_variants_ = config.num_variants;
+  Rng rng(config.seed);
+  space.variants_.resize(space.sparsity_grid_.size());
+  for (std::size_t g = 0; g < space.sparsity_grid_.size(); ++g) {
+    for (std::int64_t v = 0; v < config.num_variants; ++v) {
+      space.variants_[g].push_back(pattern_set_from_layers(
+          backbone_layers, config.psize, space.sparsity_grid_[g],
+          config.patterns_per_set, rng));
+    }
+  }
+  return space;
+}
+
+double PatternSearchSpace::sparsity_at(std::int64_t grid_index) const {
+  check(grid_index >= 0 && grid_index < grid_size(),
+        "PatternSearchSpace: grid index out of range");
+  return sparsity_grid_[static_cast<std::size_t>(grid_index)];
+}
+
+const PatternSet& PatternSearchSpace::variant(
+    std::int64_t grid_index, std::int64_t variant_index) const {
+  check(grid_index >= 0 && grid_index < grid_size(),
+        "PatternSearchSpace: grid index out of range");
+  check(variant_index >= 0 && variant_index < num_variants_,
+        "PatternSearchSpace: variant index out of range");
+  return variants_[static_cast<std::size_t>(grid_index)]
+                  [static_cast<std::size_t>(variant_index)];
+}
+
+std::int64_t PatternSearchSpace::heuristic_choice_for_level(
+    const VfLevel& level, const ModelSpec& spec, const LatencyModel& latency,
+    ExecMode mode, double timing_constraint_ms,
+    double backbone_sparsity) const {
+  const double overall = latency.sparsity_for_latency(
+      spec, mode, level.freq_mhz, timing_constraint_ms);
+  const double needed =
+      pattern_sparsity_for_overall(overall, backbone_sparsity);
+  // Smallest grid sparsity that still satisfies the constraint.
+  for (std::int64_t g = 0; g < grid_size(); ++g) {
+    if (sparsity_grid_[static_cast<std::size_t>(g)] >= needed - 1e-9) {
+      return g;
+    }
+  }
+  return grid_size() - 1;
+}
+
+}  // namespace rt3

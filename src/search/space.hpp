@@ -1,0 +1,88 @@
+// Shrunken pattern-pruning search space (paper component #3).
+//
+// Given the timing constraint T, the N selected V/F levels, and the Level-1
+// backbone, the generator:
+//   1. predicts, per level, the sparsity ratio whose latency just meets T
+//      (via the calibrated latency model — "predict the N sparsity ratios
+//      nearest to T");
+//   2. gradually tightens the constraint to widen the grid to theta * N
+//      ratios;
+//   3. for every ratio builds several candidate PatternSets of m patterns
+//      each from backbone importance (sampling n/2 tiles per pattern).
+// The RL controller then only chooses among these candidates instead of the
+// astronomically large raw pattern space (C(100,50) ~ 1e286 in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/dvfs.hpp"
+#include "nn/linear.hpp"
+#include "perf/latency_model.hpp"
+#include "sparse/pattern.hpp"
+
+namespace rt3 {
+
+struct SearchSpaceConfig {
+  double timing_constraint_ms = 100.0;
+  /// Constraint-tightening factor per extra ring of candidates.
+  double tighten_step = 0.08;
+  /// theta: rings of candidates (grid size = theta * num_levels, deduped).
+  std::int64_t theta = 3;
+  /// m: patterns per set.
+  std::int64_t patterns_per_set = 4;
+  /// Pattern-set variants per sparsity candidate (controller's 2nd action).
+  std::int64_t num_variants = 3;
+  std::int64_t psize = 8;
+  ExecMode exec_mode = ExecMode::kPattern;
+  std::uint64_t seed = 21;
+};
+
+/// Tile-importance accumulated across all prunable layers of the backbone:
+/// samples half the tiles of each layer (paper: "sample n/2 blocks and
+/// conduct point-wise addition").
+Tensor importance_from_layers(const std::vector<Linear*>& layers,
+                              std::int64_t psize, Rng& rng);
+
+/// A pattern set built from cross-layer backbone importance.
+PatternSet pattern_set_from_layers(const std::vector<Linear*>& layers,
+                                   std::int64_t psize, double sparsity,
+                                   std::int64_t m, Rng& rng);
+
+/// The generated space: a sparsity grid plus per-grid-point variants.
+class PatternSearchSpace {
+ public:
+  /// Builds the space for the given levels (fast -> slow order).
+  static PatternSearchSpace build(const SearchSpaceConfig& config,
+                                  const std::vector<VfLevel>& levels,
+                                  const ModelSpec& spec,
+                                  const LatencyModel& latency,
+                                  const std::vector<Linear*>& backbone_layers,
+                                  double backbone_sparsity);
+
+  std::int64_t grid_size() const {
+    return static_cast<std::int64_t>(sparsity_grid_.size());
+  }
+  std::int64_t num_variants() const { return num_variants_; }
+
+  double sparsity_at(std::int64_t grid_index) const;
+  const PatternSet& variant(std::int64_t grid_index,
+                            std::int64_t variant_index) const;
+  const std::vector<double>& sparsity_grid() const { return sparsity_grid_; }
+
+  /// Index of the grid point whose sparsity just satisfies T at the given
+  /// level (the heuristic baseline of Fig. 3(b,c)).
+  std::int64_t heuristic_choice_for_level(const VfLevel& level,
+                                          const ModelSpec& spec,
+                                          const LatencyModel& latency,
+                                          ExecMode mode,
+                                          double timing_constraint_ms,
+                                          double backbone_sparsity) const;
+
+ private:
+  std::vector<double> sparsity_grid_;                 // ascending
+  std::vector<std::vector<PatternSet>> variants_;     // [grid][variant]
+  std::int64_t num_variants_ = 0;
+};
+
+}  // namespace rt3

@@ -1,0 +1,47 @@
+#include "tensor/gradcheck.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+GradCheckResult grad_check(std::vector<Var> params,
+                           const std::function<Var()>& loss_fn,
+                           float epsilon) {
+  // Analytic pass.
+  for (auto& p : params) {
+    p.zero_grad();
+  }
+  Var loss = loss_fn();
+  loss.backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) {
+    analytic.push_back(p.grad());
+  }
+
+  GradCheckResult result;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& w = params[pi].mutable_value();
+    for (std::int64_t k = 0; k < w.numel(); ++k) {
+      const float saved = w[k];
+      w[k] = saved + epsilon;
+      const double up = loss_fn().item();
+      w[k] = saved - epsilon;
+      const double down = loss_fn().item();
+      w[k] = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      const double a = analytic[pi][k];
+      const double abs_err = std::abs(a - numeric);
+      const double rel_err =
+          abs_err / std::max({std::abs(a), std::abs(numeric), 1e-8});
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+    }
+  }
+  return result;
+}
+
+}  // namespace rt3

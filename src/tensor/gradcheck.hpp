@@ -1,0 +1,30 @@
+// Finite-difference gradient checking, used by the property-test suite to
+// validate every autodiff op against numeric derivatives.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/var.hpp"
+
+namespace rt3 {
+
+/// Result of a gradient check: max absolute and max relative error across
+/// all checked entries.
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  bool ok(double tol = 1e-2) const {
+    return max_abs_err < tol || max_rel_err < tol;
+  }
+};
+
+/// Checks d(loss)/d(param) for every entry of every parameter against a
+/// central finite difference.  `loss_fn` must rebuild the graph from the
+/// current parameter values on each call (parameters are perturbed
+/// in-place between calls).
+GradCheckResult grad_check(std::vector<Var> params,
+                           const std::function<Var()>& loss_fn,
+                           float epsilon = 1e-3F);
+
+}  // namespace rt3

@@ -1,0 +1,138 @@
+#include "tensor/optim.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+namespace {
+
+// Gradient of a parameter, or nullptr when no gradient has been
+// accumulated this step (e.g. a module was not used in the forward pass).
+const Tensor* grad_or_null(const Var& p) {
+  // Var::grad() throws when unallocated; probe via a local try.  Parameters
+  // untouched by the loss simply skip their update.
+  try {
+    return &p.grad();
+  } catch (const CheckError&) {
+    return nullptr;
+  }
+}
+
+}  // namespace
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    check(p.defined(), "Optimizer: null parameter");
+    check(p.requires_grad(), "Optimizer: parameter does not require grad");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) {
+    p.zero_grad();
+  }
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p.value().shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor* g = grad_or_null(params_[i]);
+    if (g == nullptr) {
+      continue;
+    }
+    Tensor& w = params_[i].mutable_value();
+    Tensor& v = velocity_[i];
+    for (std::int64_t k = 0; k < w.numel(); ++k) {
+      float gk = (*g)[k] + weight_decay_ * w[k];
+      if (momentum_ != 0.0F) {
+        v[k] = momentum_ * v[k] + gk;
+        gk = v[k];
+      }
+      w[k] -= lr_ * gk;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor* g = grad_or_null(params_[i]);
+    if (g == nullptr) {
+      continue;
+    }
+    Tensor& w = params_[i].mutable_value();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t k = 0; k < w.numel(); ++k) {
+      const float gk = (*g)[k] + weight_decay_ * w[k];
+      m[k] = beta1_ * m[k] + (1.0F - beta1_) * gk;
+      v[k] = beta2_ * v[k] + (1.0F - beta2_) * gk * gk;
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float clip_grad_norm(std::vector<Var>& params, float max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params) {
+    const Tensor* g = grad_or_null(p);
+    if (g == nullptr) {
+      continue;
+    }
+    for (std::int64_t k = 0; k < g->numel(); ++k) {
+      total_sq += static_cast<double>((*g)[k]) * (*g)[k];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0F) {
+    const float factor = max_norm / norm;
+    for (auto& p : params) {
+      const Tensor* g = grad_or_null(p);
+      if (g == nullptr) {
+        continue;
+      }
+      // grad() is const; scale through the node's accumulated tensor by
+      // re-accumulating the negative part.  Simpler: const_cast-free path —
+      // zero and re-add scaled.
+      Tensor scaled = *g;
+      scaled.scale_(factor);
+      p.zero_grad();
+      p.accumulate_grad(scaled);
+    }
+  }
+  return norm;
+}
+
+}  // namespace rt3

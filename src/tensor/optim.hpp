@@ -1,0 +1,80 @@
+// First-order optimizers over collections of leaf Vars.
+//
+// Used for model training (Adam), backbone fine-tuning under masks, and
+// the REINFORCE controller updates (SGD).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/var.hpp"
+
+namespace rt3 {
+
+/// Interface: one optimization step over registered parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently accumulated on the
+  /// parameters, then leaves gradients untouched (call zero_grad next).
+  virtual void step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// SGD with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0F,
+      float weight_decay = 0.0F);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9F,
+       float beta2 = 0.999F, float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Global gradient-norm clipping across all parameters; returns the norm
+/// before clipping.
+float clip_grad_norm(std::vector<Var>& params, float max_norm);
+
+}  // namespace rt3

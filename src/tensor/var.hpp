@@ -1,0 +1,129 @@
+// Tape-based reverse-mode automatic differentiation over rt3::Tensor.
+//
+// A Var is a shared handle to a graph node holding a value tensor, an
+// accumulated gradient, and a backward closure.  Graphs are built
+// dynamically by the free-function ops below; Var::backward() runs a
+// topological sweep.  This is the engine under the Transformer models, the
+// joint pattern-set trainer (paper Fig. 2) and the RNN RL controller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+
+namespace detail {
+struct Node;
+}  // namespace detail
+
+/// Differentiable variable: shared handle to an autodiff graph node.
+class Var {
+ public:
+  /// Null handle; most ops reject it.
+  Var() = default;
+
+  /// Leaf node. If requires_grad, gradients accumulate into grad().
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  /// Mutable access for optimizers and pruning-mask application.  Only
+  /// meaningful on leaves between backward passes.
+  Tensor& mutable_value();
+
+  const Tensor& grad() const;
+  bool requires_grad() const;
+
+  /// Clears this node's accumulated gradient.
+  void zero_grad();
+
+  /// Runs reverse-mode accumulation from this scalar (numel()==1) node.
+  void backward();
+
+  const Shape& shape() const { return value().shape(); }
+  std::int64_t numel() const { return value().numel(); }
+
+  /// Scalar convenience: value of a 1-element Var.
+  float item() const;
+
+  /// Identity of the underlying node (for parameter registries).
+  const void* id() const { return node_.get(); }
+
+  // Internal: used by op implementations.
+  static Var make_op(Tensor value, std::vector<Var> parents,
+                     std::function<void(const Tensor& grad,
+                                        std::vector<Var>& parents)>
+                         backward_fn);
+  detail::Node* node() const { return node_.get(); }
+  /// Accumulates `g` into this node's gradient (used by op backward fns).
+  void accumulate_grad(const Tensor& g);
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+/// --- basic arithmetic ----------------------------------------------------
+/// add/sub/mul support: equal shapes; b scalar (numel 1); or b 1-D matching
+/// the last dimension of a (bias broadcast).
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var neg(const Var& a);
+Var scale(const Var& a, float factor);
+Var add_scalar(const Var& a, float constant);
+/// Elementwise multiply by a constant tensor (e.g. a pruning mask); no
+/// gradient flows into the mask.
+Var mul_const(const Var& a, const Tensor& mask);
+/// Elementwise add of a constant tensor (e.g. an attention mask of -1e9).
+Var add_const(const Var& a, const Tensor& bias);
+
+/// --- matrix ops ------------------------------------------------------ ---
+/// [M,K] x [K,N] -> [M,N].
+Var matmul(const Var& a, const Var& b);
+/// Batched [B,M,K] x [B,K,N] -> [B,M,N].
+Var bmm(const Var& a, const Var& b);
+/// Swap the last two axes of a 2-D or 3-D tensor.
+Var transpose_last2(const Var& a);
+/// Arbitrary axis permutation.
+Var permute(const Var& a, const std::vector<std::int64_t>& axes);
+Var reshape(const Var& a, Shape new_shape);
+/// Concatenate along axis 0 (equal trailing shapes).
+Var concat_rows(const std::vector<Var>& parts);
+
+/// --- pointwise nonlinearities ---------------------------------------- ---
+Var relu(const Var& a);
+/// Exact GELU (erf form), matching the Transformer FFN in the paper's stack.
+Var gelu(const Var& a);
+Var tanh_v(const Var& a);
+Var sigmoid(const Var& a);
+Var exp_v(const Var& a);
+Var log_v(const Var& a);
+
+/// --- reductions ------------------------------------------------------ ---
+Var sum_all(const Var& a);
+Var mean_all(const Var& a);
+
+/// --- NN building blocks ----------------------------------------------- --
+/// Softmax over the last dimension.
+Var softmax_lastdim(const Var& a);
+Var log_softmax_lastdim(const Var& a);
+/// Mean cross-entropy of logits [N,C] against integer targets (size N).
+/// Targets of -1 are ignored (padding).
+Var cross_entropy(const Var& logits, const std::vector<std::int64_t>& targets);
+/// Mean squared error against a constant target tensor.
+Var mse_loss(const Var& pred, const Tensor& target);
+/// LayerNorm over the last dimension with learnable gamma/beta.
+Var layer_norm(const Var& x, const Var& gamma, const Var& beta,
+               float eps = 1e-5F);
+/// Row-gather: weight [V,D], ids (size N) -> [N,D].
+Var embedding(const Var& weight, const std::vector<std::int64_t>& ids);
+/// Inverted dropout; identity when !training or p == 0.
+Var dropout(const Var& a, float p, Rng& rng, bool training);
+
+}  // namespace rt3

@@ -1,0 +1,379 @@
+// Autodiff tests: known-value gradients, finite-difference property checks
+// across the op grid, optimizer behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/optim.hpp"
+#include "tensor/var.hpp"
+
+namespace rt3 {
+namespace {
+
+TEST(Var, LeafBasics) {
+  Var v(Tensor::scalar(2.0F), true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.item(), 2.0F);
+  EXPECT_THROW(v.grad(), CheckError);
+}
+
+TEST(Var, SimpleChainRule) {
+  // y = (2x)^2 summed; dy/dx = 8x
+  Var x(Tensor({3}, {1, 2, 3}), true);
+  Var y = scale(x, 2.0F);
+  Var z = mul(y, y);
+  Var loss = sum_all(z);
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0F);
+  EXPECT_FLOAT_EQ(x.grad()[1], 16.0F);
+  EXPECT_FLOAT_EQ(x.grad()[2], 24.0F);
+}
+
+TEST(Var, GradAccumulatesAcrossBackward) {
+  Var x(Tensor::scalar(3.0F), true);
+  Var l1 = mul(x, x);
+  l1.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0F);
+  Var l2 = mul(x, x);
+  l2.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0F);  // accumulated
+  x.zero_grad();
+  Var l3 = mul(x, x);
+  l3.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0F);
+}
+
+TEST(Var, DiamondGraphAccumulates) {
+  // z = x*x + x*x -> dz/dx = 4x
+  Var x(Tensor::scalar(5.0F), true);
+  Var a = mul(x, x);
+  Var b = mul(x, x);
+  Var z = add(a, b);
+  z.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 20.0F);
+}
+
+TEST(Var, BackwardRequiresScalar) {
+  Var x(Tensor({2}, {1, 2}), true);
+  Var y = scale(x, 2.0F);
+  EXPECT_THROW(y.backward(), CheckError);
+}
+
+TEST(Var, BiasBroadcastForward) {
+  Var x(Tensor({2, 3}, {0, 0, 0, 0, 0, 0}), true);
+  Var b(Tensor({3}, {1, 2, 3}), true);
+  Var y = add(x, b);
+  EXPECT_FLOAT_EQ(y.value().at({1, 2}), 3.0F);
+  Var loss = sum_all(y);
+  loss.backward();
+  // Each bias entry feeds 2 rows.
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0F);
+}
+
+TEST(Var, ScalarBroadcast) {
+  Var x(Tensor({4}, {1, 2, 3, 4}), true);
+  Var s(Tensor::scalar(10.0F), true);
+  Var y = mul(x, s);
+  sum_all(y).backward();
+  EXPECT_FLOAT_EQ(s.grad()[0], 10.0F);  // sum of x
+  EXPECT_FLOAT_EQ(x.grad()[2], 10.0F);
+}
+
+TEST(Var, MatmulKnownGrad) {
+  Var a(Tensor({1, 2}, {1, 2}), true);
+  Var b(Tensor({2, 1}, {3, 4}), true);
+  Var y = matmul(a, b);  // scalar 11
+  sum_all(y).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0F);
+  EXPECT_FLOAT_EQ(a.grad()[1], 4.0F);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0F);
+  EXPECT_FLOAT_EQ(b.grad()[1], 2.0F);
+}
+
+TEST(Var, MulConstMaskStopsGradient) {
+  Var x(Tensor({4}, {1, 2, 3, 4}), true);
+  Tensor mask({4}, {1, 0, 1, 0});
+  Var y = mul_const(x, mask);
+  sum_all(y).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0F);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0F);  // masked entries get no gradient
+  EXPECT_FLOAT_EQ(y.value()[1], 0.0F);
+}
+
+TEST(Var, CrossEntropyIgnoresPadding) {
+  Var logits(Tensor({3, 2}, {10, -10, 10, -10, -10, 10}), true);
+  const std::vector<std::int64_t> targets = {0, -1, 1};
+  Var loss = cross_entropy(logits, targets);
+  // Both counted rows are confidently correct -> near-zero loss.
+  EXPECT_LT(loss.item(), 1e-3F);
+  loss.backward();
+  // Padding row receives zero gradient.
+  EXPECT_FLOAT_EQ(logits.grad()[2], 0.0F);
+  EXPECT_FLOAT_EQ(logits.grad()[3], 0.0F);
+}
+
+TEST(Var, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Var x(Tensor::randn({5, 7}, rng), false);
+  Var s = softmax_lastdim(x);
+  for (int r = 0; r < 5; ++r) {
+    float total = 0.0F;
+    for (int c = 0; c < 7; ++c) {
+      total += s.value()[r * 7 + c];
+    }
+    EXPECT_NEAR(total, 1.0F, 1e-5F);
+  }
+}
+
+TEST(Var, EmbeddingGatherAndScatter) {
+  Var w(Tensor({3, 2}, {0, 1, 10, 11, 20, 21}), true);
+  Var e = embedding(w, {2, 0, 2});
+  EXPECT_FLOAT_EQ(e.value()[0], 20.0F);
+  EXPECT_FLOAT_EQ(e.value()[3], 1.0F);
+  sum_all(e).backward();
+  EXPECT_FLOAT_EQ(w.grad()[4], 2.0F);  // row 2 used twice
+  EXPECT_FLOAT_EQ(w.grad()[2], 0.0F);  // row 1 unused
+}
+
+TEST(Var, DropoutTrainVsEval) {
+  Rng rng(7);
+  Var x(Tensor::ones({1000}), true);
+  Var eval_out = dropout(x, 0.5F, rng, /*training=*/false);
+  EXPECT_TRUE(eval_out.value().allclose(Tensor::ones({1000})));
+  Var train_out = dropout(x, 0.5F, rng, /*training=*/true);
+  const double zeros = train_out.value().sparsity();
+  EXPECT_NEAR(zeros, 0.5, 0.08);
+  // Inverted dropout preserves expectation.
+  EXPECT_NEAR(train_out.value().mean(), 1.0F, 0.15F);
+}
+
+TEST(Var, PermuteRoundTrip) {
+  Rng rng(11);
+  Var x(Tensor::randn({2, 3, 4}, rng), true);
+  Var p = permute(x, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  Var back = permute(p, {1, 2, 0});
+  EXPECT_TRUE(back.value().allclose(x.value()));
+  sum_all(p).backward();
+  EXPECT_TRUE(x.grad().allclose(Tensor::ones({2, 3, 4})));
+}
+
+TEST(Var, ConcatRowsForwardBackward) {
+  Var a(Tensor({1, 2}, {1, 2}), true);
+  Var b(Tensor({2, 2}, {3, 4, 5, 6}), true);
+  Var c = concat_rows({a, b});
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(c.value()[4], 5.0F);
+  sum_all(c).backward();
+  EXPECT_TRUE(a.grad().allclose(Tensor::ones({1, 2})));
+  EXPECT_TRUE(b.grad().allclose(Tensor::ones({2, 2})));
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference property checks across the op grid.
+// ---------------------------------------------------------------------------
+
+struct OpCase {
+  std::string name;
+  // Builds a scalar loss from a [3,4] parameter.
+  std::function<Var(const Var&)> build;
+};
+
+class GradCheckOps : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckOps, MatchesFiniteDifference) {
+  Rng rng(77);
+  Var w(Tensor::rand_uniform({3, 4}, rng, 0.2F, 1.2F), true);
+  const auto& build = GetParam().build;
+  const auto result = grad_check({w}, [&] { return build(w); });
+  EXPECT_TRUE(result.ok(2e-2)) << GetParam().name
+                               << " abs=" << result.max_abs_err
+                               << " rel=" << result.max_rel_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpGrid, GradCheckOps,
+    ::testing::Values(
+        OpCase{"relu", [](const Var& w) { return sum_all(relu(w)); }},
+        OpCase{"gelu", [](const Var& w) { return sum_all(gelu(w)); }},
+        OpCase{"tanh", [](const Var& w) { return sum_all(tanh_v(w)); }},
+        OpCase{"sigmoid", [](const Var& w) { return sum_all(sigmoid(w)); }},
+        OpCase{"exp", [](const Var& w) { return sum_all(exp_v(w)); }},
+        OpCase{"log", [](const Var& w) { return sum_all(log_v(w)); }},
+        OpCase{"mean", [](const Var& w) { return mean_all(w); }},
+        OpCase{"softmax",
+               [](const Var& w) {
+                 // weighted sum keeps softmax grad nontrivial
+                 Tensor coef({3, 4});
+                 for (std::int64_t i = 0; i < coef.numel(); ++i) {
+                   coef[i] = static_cast<float>(i % 5) - 2.0F;
+                 }
+                 return sum_all(mul_const(softmax_lastdim(w), coef));
+               }},
+        OpCase{"log_softmax",
+               [](const Var& w) {
+                 Tensor coef({3, 4});
+                 for (std::int64_t i = 0; i < coef.numel(); ++i) {
+                   coef[i] = static_cast<float>((i * 7) % 3) - 1.0F;
+                 }
+                 return sum_all(mul_const(log_softmax_lastdim(w), coef));
+               }},
+        OpCase{"square_via_mul",
+               [](const Var& w) { return sum_all(mul(w, w)); }},
+        OpCase{"scale_add",
+               [](const Var& w) {
+                 return sum_all(add_scalar(scale(w, -1.7F), 0.3F));
+               }},
+        OpCase{"transpose",
+               [](const Var& w) {
+                 return sum_all(mul(transpose_last2(w), transpose_last2(w)));
+               }},
+        OpCase{"reshape",
+               [](const Var& w) {
+                 Var r = reshape(w, {4, 3});
+                 return sum_all(mul(r, r));
+               }},
+        OpCase{"cross_entropy",
+               [](const Var& w) {
+                 return cross_entropy(w, {0, 3, 1});
+               }},
+        OpCase{"mse",
+               [](const Var& w) {
+                 return mse_loss(w, Tensor::full({3, 4}, 0.5F));
+               }}),
+    [](const ::testing::TestParamInfo<OpCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheck, MatmulChain) {
+  Rng rng(88);
+  Var a(Tensor::randn({3, 5}, rng, 0.5F), true);
+  Var b(Tensor::randn({5, 2}, rng, 0.5F), true);
+  const auto result =
+      grad_check({a, b}, [&] { return sum_all(mul(matmul(a, b), matmul(a, b))); });
+  EXPECT_TRUE(result.ok(2e-2)) << "abs=" << result.max_abs_err;
+}
+
+TEST(GradCheck, BmmChain) {
+  Rng rng(89);
+  Var a(Tensor::randn({2, 3, 4}, rng, 0.5F), true);
+  Var b(Tensor::randn({2, 4, 3}, rng, 0.5F), true);
+  const auto result = grad_check({a, b}, [&] { return mean_all(bmm(a, b)); });
+  EXPECT_TRUE(result.ok(2e-2));
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(90);
+  Var x(Tensor::randn({4, 6}, rng), true);
+  Var gamma(Tensor::ones({6}), true);
+  Var beta(Tensor::zeros({6}), true);
+  Tensor coef({4, 6});
+  for (std::int64_t i = 0; i < coef.numel(); ++i) {
+    coef[i] = static_cast<float>((i % 7)) * 0.3F - 1.0F;
+  }
+  const auto result = grad_check({x, gamma, beta}, [&] {
+    return sum_all(mul_const(layer_norm(x, gamma, beta), coef));
+  });
+  EXPECT_TRUE(result.ok(3e-2)) << "abs=" << result.max_abs_err
+                               << " rel=" << result.max_rel_err;
+}
+
+TEST(GradCheck, EmbeddingLookup) {
+  Rng rng(91);
+  Var w(Tensor::randn({5, 3}, rng), true);
+  const auto result = grad_check({w}, [&] {
+    Var e = embedding(w, {4, 1, 1, 0});
+    return sum_all(mul(e, e));
+  });
+  EXPECT_TRUE(result.ok(2e-2));
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers
+// ---------------------------------------------------------------------------
+
+TEST(Optim, SgdConvergesOnQuadratic) {
+  Var x(Tensor({2}, {5.0F, -3.0F}), true);
+  Sgd opt({x}, 0.1F);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    Var loss = sum_all(mul(x, x));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(x.value()[0], 0.0F, 1e-3F);
+  EXPECT_NEAR(x.value()[1], 0.0F, 1e-3F);
+}
+
+TEST(Optim, MomentumAcceleratesDescent) {
+  Var a(Tensor({1}, {10.0F}), true);
+  Var b(Tensor({1}, {10.0F}), true);
+  Sgd plain({a}, 0.01F);
+  Sgd heavy({b}, 0.01F, 0.9F);
+  for (int i = 0; i < 50; ++i) {
+    plain.zero_grad();
+    sum_all(mul(a, a)).backward();
+    plain.step();
+    heavy.zero_grad();
+    sum_all(mul(b, b)).backward();
+    heavy.step();
+  }
+  EXPECT_LT(std::abs(b.value()[0]), std::abs(a.value()[0]));
+}
+
+TEST(Optim, AdamConvergesOnIllConditionedQuadratic) {
+  // f = x0^2 + 100 x1^2
+  Var x(Tensor({2}, {3.0F, 3.0F}), true);
+  Adam opt({x}, 0.05F);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    Var x0 = mul_const(x, Tensor({2}, {1, 0}));
+    Var x1 = mul_const(x, Tensor({2}, {0, 10}));
+    Var loss = add(sum_all(mul(x0, x0)), sum_all(mul(x1, x1)));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(x.value()[0], 0.0F, 5e-2F);
+  EXPECT_NEAR(x.value()[1], 0.0F, 5e-2F);
+}
+
+TEST(Optim, WeightDecayShrinksUnusedDirection) {
+  Var x(Tensor({1}, {1.0F}), true);
+  Sgd opt({x}, 0.1F, 0.0F, 0.5F);
+  for (int i = 0; i < 20; ++i) {
+    opt.zero_grad();
+    // Loss independent of x value: zero gradient, decay only.
+    Var loss = sum_all(mul_const(x, Tensor({1}, {0.0F})));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(x.value()[0], 0.5F);
+}
+
+TEST(Optim, ClipGradNorm) {
+  Var x(Tensor({2}, {0.0F, 0.0F}), true);
+  std::vector<Var> params = {x};
+  x.accumulate_grad(Tensor({2}, {3.0F, 4.0F}));  // norm 5
+  const float before = clip_grad_norm(params, 1.0F);
+  EXPECT_FLOAT_EQ(before, 5.0F);
+  EXPECT_NEAR(x.grad()[0], 0.6F, 1e-5F);
+  EXPECT_NEAR(x.grad()[1], 0.8F, 1e-5F);
+}
+
+TEST(Optim, SkipsParamsWithoutGrad) {
+  Var used(Tensor({1}, {1.0F}), true);
+  Var unused(Tensor({1}, {9.0F}), true);
+  Adam opt({used, unused}, 0.1F);
+  opt.zero_grad();
+  sum_all(mul(used, used)).backward();
+  opt.step();
+  EXPECT_FLOAT_EQ(unused.value()[0], 9.0F);
+  EXPECT_LT(used.value()[0], 1.0F);
+}
+
+}  // namespace
+}  // namespace rt3

@@ -1,0 +1,239 @@
+// Tests for the synthetic corpus and GLUE-analog datasets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "data/corpus.hpp"
+#include "data/glue.hpp"
+
+namespace rt3 {
+namespace {
+
+TEST(Corpus, GeneratesRequestedSize) {
+  CorpusConfig cfg;
+  cfg.num_tokens = 1000;
+  cfg.vocab_size = 64;
+  Corpus corpus(cfg);
+  EXPECT_EQ(corpus.train().size() + corpus.valid().size(), 1000U);
+  EXPECT_EQ(corpus.train().size(), 900U);
+}
+
+TEST(Corpus, TokensInRange) {
+  CorpusConfig cfg;
+  cfg.num_tokens = 2000;
+  cfg.vocab_size = 32;
+  Corpus corpus(cfg);
+  for (auto t : corpus.train()) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 32);
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusConfig cfg;
+  cfg.num_tokens = 500;
+  cfg.seed = 42;
+  Corpus a(cfg);
+  Corpus b(cfg);
+  EXPECT_EQ(a.train(), b.train());
+  EXPECT_EQ(a.successor_table(), b.successor_table());
+}
+
+TEST(Corpus, OracleAccuracyTracksRuleStrength) {
+  CorpusConfig cfg;
+  cfg.num_tokens = 30000;
+  cfg.rule_strength = 0.9;
+  Corpus corpus(cfg);
+  // Oracle accuracy ~= rule strength (plus a tiny chance-level correction).
+  EXPECT_NEAR(corpus.oracle_accuracy(), 0.9, 0.03);
+}
+
+TEST(Corpus, SuccessorTableIsPermutation) {
+  CorpusConfig cfg;
+  cfg.vocab_size = 50;
+  cfg.num_tokens = 200;
+  Corpus corpus(cfg);
+  std::set<std::int64_t> targets(corpus.successor_table().begin(),
+                                 corpus.successor_table().end());
+  EXPECT_EQ(targets.size(), 50U);
+}
+
+// Property sweep: oracle ceiling follows rule strength across settings.
+class CorpusRuleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorpusRuleSweep, OracleMatchesRuleStrength) {
+  CorpusConfig cfg;
+  cfg.num_tokens = 20000;
+  cfg.rule_strength = GetParam();
+  cfg.seed = 7;
+  Corpus corpus(cfg);
+  EXPECT_NEAR(corpus.oracle_accuracy(), GetParam(), 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, CorpusRuleSweep,
+                         ::testing::Values(0.5, 0.7, 0.85, 0.95, 0.99));
+
+TEST(LmBatcher, ShapesAndAlignment) {
+  std::vector<std::int64_t> tokens;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    tokens.push_back(i);
+  }
+  LmBatcher batcher(tokens, 2, 5);
+  Rng rng(3);
+  const LmBatch batch = batcher.next(rng);
+  EXPECT_EQ(batch.inputs.size(), 10U);
+  EXPECT_EQ(batch.targets.size(), 10U);
+  // Target must be the successor of the input at every position.
+  for (std::size_t i = 0; i < batch.inputs.size(); ++i) {
+    EXPECT_EQ(batch.targets[i], batch.inputs[i] + 1);
+  }
+}
+
+TEST(LmBatcher, DeterministicAt) {
+  std::vector<std::int64_t> tokens(200);
+  for (std::int64_t i = 0; i < 200; ++i) {
+    tokens[static_cast<std::size_t>(i)] = i % 7;
+  }
+  LmBatcher batcher(tokens, 3, 8);
+  const LmBatch a = batcher.at(5);
+  const LmBatch b = batcher.at(5);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.targets, b.targets);
+}
+
+TEST(LmBatcher, RejectsShortStream) {
+  std::vector<std::int64_t> tokens(5, 0);
+  EXPECT_THROW(LmBatcher(tokens, 1, 10), CheckError);
+}
+
+TEST(Glue, AllTasksGenerate) {
+  for (auto task :
+       {GlueTask::kMnli, GlueTask::kQqp, GlueTask::kQnli, GlueTask::kSst2,
+        GlueTask::kCola, GlueTask::kStsB, GlueTask::kMrpc, GlueTask::kRte,
+        GlueTask::kWnli}) {
+    GlueTaskConfig cfg;
+    cfg.task = task;
+    cfg.train_size = 50;
+    cfg.dev_size = 20;
+    GlueDataset data(cfg);
+    EXPECT_EQ(data.train().size(), 50U) << GlueDataset::task_name(task);
+    EXPECT_EQ(data.dev().size(), 20U);
+    for (const auto& ex : data.train()) {
+      EXPECT_EQ(ex.tokens.size(), static_cast<std::size_t>(cfg.seq_len));
+      for (auto t : ex.tokens) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, cfg.vocab_size);
+      }
+      if (!data.is_regression()) {
+        EXPECT_GE(ex.label, 0);
+        EXPECT_LT(ex.label, data.num_classes());
+      } else {
+        EXPECT_GE(ex.score, 0.0F);
+        EXPECT_LE(ex.score, 5.0F);
+      }
+    }
+  }
+}
+
+TEST(Glue, MetricAssignmentsMatchGlueConventions) {
+  const auto metric_of = [](GlueTask t) {
+    GlueTaskConfig cfg;
+    cfg.task = t;
+    cfg.train_size = 4;
+    cfg.dev_size = 4;
+    return GlueDataset(cfg).metric();
+  };
+  EXPECT_EQ(metric_of(GlueTask::kSst2), MetricType::kAccuracy);
+  EXPECT_EQ(metric_of(GlueTask::kQnli), MetricType::kAccuracy);
+  EXPECT_EQ(metric_of(GlueTask::kRte), MetricType::kAccuracy);
+  EXPECT_EQ(metric_of(GlueTask::kWnli), MetricType::kAccuracy);
+  EXPECT_EQ(metric_of(GlueTask::kQqp), MetricType::kF1);
+  EXPECT_EQ(metric_of(GlueTask::kMrpc), MetricType::kF1);
+  EXPECT_EQ(metric_of(GlueTask::kCola), MetricType::kMcc);
+  EXPECT_EQ(metric_of(GlueTask::kStsB), MetricType::kSpearman);
+}
+
+TEST(Glue, MnliHasThreeClasses) {
+  GlueTaskConfig cfg;
+  cfg.task = GlueTask::kMnli;
+  cfg.train_size = 100;
+  cfg.dev_size = 10;
+  GlueDataset data(cfg);
+  EXPECT_EQ(data.num_classes(), 3);
+  std::set<std::int64_t> labels;
+  for (const auto& ex : data.train()) {
+    labels.insert(ex.label);
+  }
+  EXPECT_EQ(labels.size(), 3U);
+}
+
+TEST(Glue, SignalTokensPredictLabel) {
+  // A trivial pool-counting classifier must beat chance by a wide margin on
+  // an easy task — verifies the planted signal is actually present.
+  GlueTaskConfig cfg;
+  cfg.task = GlueTask::kSst2;
+  cfg.train_size = 10;
+  cfg.dev_size = 400;
+  GlueDataset data(cfg);
+  std::vector<std::int64_t> pred;
+  for (const auto& ex : data.dev()) {
+    std::int64_t votes0 = 0;
+    std::int64_t votes1 = 0;
+    for (auto t : ex.tokens) {
+      if (t < 16) {
+        ++votes0;
+      } else if (t < 32) {
+        ++votes1;
+      }
+    }
+    pred.push_back(votes1 > votes0 ? 1 : 0);
+  }
+  EXPECT_GT(data.evaluate(pred), 0.8);
+}
+
+TEST(Glue, HardTasksAreNoisierThanEasyTasks) {
+  const auto rte = glue_task_profile(GlueTask::kRte);
+  const auto wnli = glue_task_profile(GlueTask::kWnli);
+  const auto sst2 = glue_task_profile(GlueTask::kSst2);
+  EXPECT_GT(rte.label_noise, sst2.label_noise);
+  EXPECT_GT(wnli.label_noise, sst2.label_noise);
+}
+
+TEST(Glue, StsbOracleSpearmanHigh) {
+  GlueTaskConfig cfg;
+  cfg.task = GlueTask::kStsB;
+  cfg.train_size = 10;
+  cfg.dev_size = 300;
+  GlueDataset data(cfg);
+  // Oracle: count shared-topic tokens (ids < 16), exactly the generative
+  // factor behind the similarity score.
+  std::vector<double> pred;
+  for (const auto& ex : data.dev()) {
+    std::int64_t shared = 0;
+    for (auto t : ex.tokens) {
+      shared += (t < 16) ? 1 : 0;
+    }
+    pred.push_back(static_cast<double>(shared));
+  }
+  EXPECT_GT(data.evaluate_regression(pred), 0.75);
+}
+
+TEST(Glue, EvaluateRejectsWrongArity) {
+  GlueTaskConfig cfg;
+  cfg.task = GlueTask::kRte;
+  cfg.train_size = 4;
+  cfg.dev_size = 8;
+  GlueDataset data(cfg);
+  EXPECT_THROW(data.evaluate({1, 0}), CheckError);
+  EXPECT_THROW(data.evaluate_regression({1.0}), CheckError);
+}
+
+TEST(Glue, TaskNames) {
+  EXPECT_EQ(GlueDataset::task_name(GlueTask::kStsB), "STS-B");
+  EXPECT_EQ(GlueDataset::task_name(GlueTask::kSst2), "SST-2");
+  EXPECT_EQ(GlueDataset::metric_name(MetricType::kMcc), "MCC");
+}
+
+}  // namespace
+}  // namespace rt3

@@ -1,0 +1,279 @@
+// Tests for the performance models (latency, switch cost) and the DVFS
+// substrate (V/F table, power, battery, governor, number of runs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "dvfs/dvfs.hpp"
+#include "perf/latency_model.hpp"
+#include "perf/model_spec.hpp"
+
+namespace rt3 {
+namespace {
+
+TEST(ModelSpec, PaperTransformerShapes) {
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  EXPECT_GT(spec.total_weights(), 40'000'000);  // dominated by 28785x800 head
+  EXPECT_GT(spec.dense_macs(), 1e9);
+  bool has_head = false;
+  for (const auto& l : spec.layers) {
+    if (l.name == "lm_head") {
+      has_head = true;
+      EXPECT_EQ(l.rows * l.cols, 800 * 28785);
+    }
+  }
+  EXPECT_TRUE(has_head);
+}
+
+TEST(ModelSpec, PaperDistilBertShapes) {
+  const ModelSpec spec = ModelSpec::paper_distilbert();
+  // 6 layers x (4 attn + 2 ffn) + pre-classifier.
+  EXPECT_EQ(spec.layers.size(), 37U);
+  EXPECT_EQ(spec.tokens_per_inference, 128);
+}
+
+TEST(ModelSpec, TileCount) {
+  ModelSpec spec;
+  spec.layers.push_back({"a", 100, 100, 1});
+  spec.layers.push_back({"b", 150, 100, 1});  // rounds up to 2x1 tiles
+  EXPECT_EQ(spec.num_tiles(100), 1 + 2);
+}
+
+TEST(LatencyModel, InverseFrequencyScaling) {
+  // The paper's Table II shows exact 1/f scaling (114.59 -> 160.43 ->
+  // 200.54 ms across 1400/1000/800 MHz).
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel model;
+  const double l14 = model.latency_ms(spec, 0.5, ExecMode::kBlock, 1400.0);
+  const double l10 = model.latency_ms(spec, 0.5, ExecMode::kBlock, 1000.0);
+  const double l08 = model.latency_ms(spec, 0.5, ExecMode::kBlock, 800.0);
+  EXPECT_NEAR(l10 / l14, 1.4, 1e-9);
+  EXPECT_NEAR(l08 / l14, 1.75, 1e-9);
+}
+
+TEST(LatencyModel, MonotoneInSparsity) {
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel model;
+  double prev = model.latency_ms(spec, 0.0, ExecMode::kPattern, 1000.0);
+  for (double s : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const double cur = model.latency_ms(spec, s, ExecMode::kPattern, 1000.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(LatencyModel, ExecModeOverheadOrdering) {
+  EXPECT_LT(exec_mode_overhead(ExecMode::kDense),
+            exec_mode_overhead(ExecMode::kBlock));
+  EXPECT_LT(exec_mode_overhead(ExecMode::kBlock),
+            exec_mode_overhead(ExecMode::kPattern));
+  EXPECT_LT(exec_mode_overhead(ExecMode::kPattern),
+            exec_mode_overhead(ExecMode::kIrregular));
+}
+
+TEST(LatencyModel, CalibrationHitsAnchor) {
+  // Calibrate against the Table II anchor: BP-only model (64.26% sparsity)
+  // at F-mode (1400 MHz) = 114.59 ms.
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel model;
+  model.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
+  EXPECT_NEAR(model.latency_ms(spec, 0.6426, ExecMode::kBlock, 1400.0),
+              114.59, 1e-6);
+  // And the N/E-mode latencies then match Table II's 160.43 / 200.54.
+  EXPECT_NEAR(model.latency_ms(spec, 0.6426, ExecMode::kBlock, 1000.0),
+              160.43, 0.05);
+  EXPECT_NEAR(model.latency_ms(spec, 0.6426, ExecMode::kBlock, 800.0),
+              200.54, 0.05);
+}
+
+TEST(LatencyModel, SparsityForLatencyInvertsLatency) {
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel model;
+  model.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
+  const double target = 100.0;
+  const double s =
+      model.sparsity_for_latency(spec, ExecMode::kPattern, 1000.0, target);
+  EXPECT_NEAR(model.latency_ms(spec, s, ExecMode::kPattern, 1000.0), target,
+              0.01);
+}
+
+TEST(LatencyModel, SparsityForLatencyEdgeCases) {
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel model;
+  // Huge budget -> dense suffices.
+  EXPECT_DOUBLE_EQ(
+      model.sparsity_for_latency(spec, ExecMode::kDense, 1400.0, 1e9), 0.0);
+  // Impossible budget -> capped at 0.99.
+  EXPECT_DOUBLE_EQ(
+      model.sparsity_for_latency(spec, ExecMode::kDense, 1400.0, 1e-9), 0.99);
+}
+
+TEST(SwitchCost, PatternSwitchOrdersOfMagnitudeFaster) {
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  SwitchCostModel model;
+  const double full = model.full_model_switch_ms(spec.dense_bytes());
+  const double pattern =
+      model.pattern_set_switch_ms(4 * 1250 + spec.num_tiles(100) * 2,
+                                  spec.num_tiles(100));
+  EXPECT_GT(full / pattern, 1000.0);  // the paper's ">1000x speedup" claim
+  EXPECT_GT(full, 10'000.0);          // tens of seconds
+  EXPECT_LT(pattern, 100.0);          // milliseconds
+}
+
+TEST(VfTable, MatchesPaperTableI) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  ASSERT_EQ(table.size(), 6);
+  EXPECT_EQ(table.level(0).freq_mhz, 400.0);
+  EXPECT_EQ(table.level(0).volt_mv, 916.25);
+  EXPECT_EQ(table.level(5).freq_mhz, 1400.0);
+  EXPECT_EQ(table.level(5).volt_mv, 1240.0);
+  EXPECT_THROW(table.level(6), CheckError);
+}
+
+TEST(VfTable, PaperEvalLevels) {
+  const auto levels = VfTable::paper_eval_levels();
+  const VfTable table = VfTable::odroid_xu3_a7();
+  ASSERT_EQ(levels.size(), 3U);
+  EXPECT_EQ(table.level(levels[0]).name, "l3");
+  EXPECT_EQ(table.level(levels[2]).name, "l6");
+}
+
+TEST(PowerModel, MonotoneInLevel) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  PowerModel power;
+  double prev = 0.0;
+  for (std::int64_t i = 0; i < table.size(); ++i) {
+    const double p = power.power_mw(table.level(i));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, EnergyScalesWithDuration) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  PowerModel power;
+  const auto& l6 = table.level(5);
+  EXPECT_NEAR(power.energy_mj(l6, 200.0), 2.0 * power.energy_mj(l6, 100.0),
+              1e-9);
+}
+
+TEST(PowerModel, RealisticA7ClusterPower) {
+  // ~400-800 mW at 1.4 GHz for the A7 cluster.
+  PowerModel power;
+  const double p = power.power_mw(VfTable::odroid_xu3_a7().level(5));
+  EXPECT_GT(p, 300.0);
+  EXPECT_LT(p, 1000.0);
+}
+
+TEST(NumberOfRuns, InverseInPowerAndLatency) {
+  const double runs = number_of_runs(1000.0, 500.0, 100.0);
+  EXPECT_NEAR(runs, 1000.0 / (500.0 * 100.0 / 1000.0), 1e-9);
+  EXPECT_NEAR(number_of_runs(1000.0, 250.0, 100.0), 2.0 * runs, 1e-9);
+  EXPECT_NEAR(number_of_runs(1000.0, 500.0, 50.0), 2.0 * runs, 1e-9);
+}
+
+TEST(NumberOfRuns, LowerVfLevelYieldsMoreRunsOnPaperLevels) {
+  // The point of DVFS: the SAME cycle count costs less energy at a lower
+  // V/F level (latency grows 1/f but dynamic power falls faster, ~V^2 f).
+  // This holds across the paper's evaluation levels {l3, l4, l6}; at the
+  // very bottom of the ladder (l1/l2, nearly equal voltage) static power
+  // dominates and the trend legitimately flattens, so we assert only the
+  // levels the paper uses.
+  const VfTable table = VfTable::odroid_xu3_a7();
+  PowerModel power;
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel lat;
+  lat.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
+  const double budget = 1e6;
+  double prev_runs = 0.0;
+  for (std::int64_t i : {5, 3, 2}) {  // l6 -> l4 -> l3
+    const auto& level = table.level(i);
+    const double ms =
+        lat.latency_ms(spec, 0.6426, ExecMode::kBlock, level.freq_mhz);
+    const double runs = number_of_runs(budget, power.power_mw(level), ms);
+    EXPECT_GT(runs, prev_runs) << "level " << level.name;
+    prev_runs = runs;
+  }
+}
+
+TEST(Battery, DrainAndEmpty) {
+  Battery battery(100.0);
+  EXPECT_TRUE(battery.drain(60.0));
+  EXPECT_NEAR(battery.fraction(), 0.4, 1e-12);
+  EXPECT_FALSE(battery.drain(50.0));  // not enough left
+  EXPECT_TRUE(battery.empty());
+  battery.recharge();
+  EXPECT_NEAR(battery.fraction(), 1.0, 1e-12);
+}
+
+TEST(Governor, EqualTranchesSteps) {
+  const Governor gov = Governor::equal_tranches({5, 3, 2});
+  EXPECT_EQ(gov.level_for(1.0), 5);
+  EXPECT_EQ(gov.level_for(0.8), 5);
+  EXPECT_EQ(gov.level_for(0.5), 3);
+  EXPECT_EQ(gov.level_for(0.2), 2);
+  EXPECT_EQ(gov.level_for(0.0), 2);
+}
+
+TEST(Governor, SingleLevelAlways) {
+  const Governor gov = Governor::equal_tranches({4});
+  EXPECT_EQ(gov.level_for(1.0), 4);
+  EXPECT_EQ(gov.level_for(0.01), 4);
+}
+
+TEST(Governor, RejectsNonDescendingThresholds) {
+  EXPECT_THROW(Governor({1, 2, 3}, {0.3, 0.6}), CheckError);
+  EXPECT_THROW(Governor({1, 2}, {0.5, 0.2}), CheckError);
+}
+
+// Table II reproduction logic at unit scale: with a fixed energy budget
+// split into three tranches, HW+SW reconfiguration beats HW-only beats
+// none.
+TEST(Integration, ReconfigurationOrderingMatchesTableII) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  PowerModel power;
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel lat;
+  lat.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
+  const double budget = 1e6;  // mJ
+
+  const auto level = [&](std::int64_t i) -> const VfLevel& {
+    return table.level(i);
+  };
+
+  // E1: all energy at F-mode with M1 (64.26% sparsity).
+  const double e1_runs =
+      number_of_runs(budget, power.power_mw(level(5)),
+                     lat.latency_ms(spec, 0.6426, ExecMode::kBlock, 1400.0));
+
+  // E2: thirds of the budget at F/N/E modes, same model.
+  double e2_runs = 0.0;
+  for (std::int64_t li : {5, 3, 2}) {
+    e2_runs += number_of_runs(
+        budget / 3.0, power.power_mw(level(li)),
+        lat.latency_ms(spec, 0.6426, ExecMode::kBlock, level(li).freq_mhz));
+  }
+
+  // E3: thirds of the budget, each mode running a model re-pruned to just
+  // meet T=115 ms at that mode's frequency.
+  double e3_runs = 0.0;
+  for (std::int64_t li : {5, 3, 2}) {
+    const double s = std::max(
+        0.6426, lat.sparsity_for_latency(spec, ExecMode::kPattern,
+                                         level(li).freq_mhz, 115.0));
+    e3_runs += number_of_runs(
+        budget / 3.0, power.power_mw(level(li)),
+        lat.latency_ms(spec, s, ExecMode::kPattern, level(li).freq_mhz));
+  }
+
+  EXPECT_GT(e2_runs, e1_runs);          // DVFS helps (Table II: +17.3%)
+  EXPECT_GT(e3_runs, e2_runs);          // SW reconfig helps more
+  EXPECT_GT(e3_runs / e1_runs, 1.4);    // headline factor (paper: 1.78x)
+  // But E2's N/E modes MISS the deadline, E3 meets it everywhere.
+  EXPECT_GT(lat.latency_ms(spec, 0.6426, ExecMode::kBlock, 1000.0), 115.0);
+  EXPECT_GT(lat.latency_ms(spec, 0.6426, ExecMode::kBlock, 800.0), 115.0);
+}
+
+}  // namespace
+}  // namespace rt3

@@ -1,0 +1,327 @@
+// Tests for Level-1 block pruning (Algorithm 1), the group-lasso
+// regularizer, Level-2 pattern construction, and model-level composition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/linear.hpp"
+#include "pruning/block_prune.hpp"
+#include "pruning/model_pruner.hpp"
+#include "pruning/pattern_prune.hpp"
+#include "tensor/gradcheck.hpp"
+
+namespace rt3 {
+namespace {
+
+TEST(BlockPrune, PercentilePrunesRequestedFraction) {
+  Rng rng(1);
+  const Tensor w = Tensor::randn({8, 10}, rng);
+  BpConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.mode = BpConfig::Mode::kPercentile;
+  cfg.prune_fraction = 0.5;
+  const Tensor mask = bp_mask(w, cfg);
+  EXPECT_NEAR(mask.sparsity(), 0.5, 1e-9);
+}
+
+TEST(BlockPrune, ThresholdPrunesWeakColumns) {
+  // Build a matrix with two strong and two ~zero columns per block.
+  Tensor w({4, 4});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    w[r * 4 + 0] = 1.0F;
+    w[r * 4 + 1] = 1e-4F;
+    w[r * 4 + 2] = 2.0F;
+    w[r * 4 + 3] = 1e-4F;
+  }
+  BpConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.mode = BpConfig::Mode::kThreshold;
+  cfg.threshold = 0.01;
+  const Tensor mask = bp_mask(w, cfg);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(mask[r * 4 + 0], 1.0F);
+    EXPECT_FLOAT_EQ(mask[r * 4 + 1], 0.0F);
+    EXPECT_FLOAT_EQ(mask[r * 4 + 2], 1.0F);
+    EXPECT_FLOAT_EQ(mask[r * 4 + 3], 0.0F);
+  }
+}
+
+TEST(BlockPrune, MaskIsBlockStructured) {
+  // Within a block, a pruned column must be entirely zero.
+  Rng rng(2);
+  const Tensor w = Tensor::randn({12, 6}, rng);
+  BpConfig cfg;
+  cfg.num_blocks = 3;
+  cfg.prune_fraction = 0.5;
+  const Tensor mask = bp_mask(w, cfg);
+  const std::int64_t block_rows = 4;
+  for (std::int64_t b = 0; b < 3; ++b) {
+    for (std::int64_t c = 0; c < 6; ++c) {
+      const float first = mask[b * block_rows * 6 + c];
+      for (std::int64_t r = 1; r < block_rows; ++r) {
+        EXPECT_FLOAT_EQ(mask[(b * block_rows + r) * 6 + c], first)
+            << "column " << c << " of block " << b << " is ragged";
+      }
+    }
+  }
+}
+
+TEST(BlockPrune, KeepsStrongestColumns) {
+  // Column strength increases with index; percentile pruning must drop the
+  // low-index columns.
+  Tensor w({4, 6});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 6; ++c) {
+      w[r * 6 + c] = static_cast<float>(c + 1);
+    }
+  }
+  BpConfig cfg;
+  cfg.num_blocks = 1;
+  cfg.prune_fraction = 0.5;
+  const Tensor mask = bp_mask(w, cfg);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(mask[c], 0.0F);
+  }
+  for (std::int64_t c = 3; c < 6; ++c) {
+    EXPECT_FLOAT_EQ(mask[c], 1.0F);
+  }
+}
+
+TEST(BlockPrune, RandomBaselineMatchesCounts) {
+  Rng rng(3);
+  const Tensor w = Tensor::randn({8, 10}, rng);
+  BpConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.prune_fraction = 0.4;
+  const Tensor bp = bp_mask(w, cfg);
+  const Tensor rbp = rbp_mask(w, cfg, rng);
+  EXPECT_NEAR(bp.sparsity(), rbp.sparsity(), 1e-9);
+}
+
+TEST(BlockPrune, RandomBaselineLosesMoreEnergy) {
+  // BP keeps the highest-norm columns, so retained weight energy must be
+  // at least that of random pruning (the Table IV rBP-vs-BP gap).
+  Rng rng(4);
+  const Tensor w = Tensor::randn({16, 20}, rng);
+  BpConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.prune_fraction = 0.5;
+  const Tensor bp = mul(w, bp_mask(w, cfg));
+  const Tensor rbp = mul(w, rbp_mask(w, cfg, rng));
+  EXPECT_GT(bp.l2_norm(), rbp.l2_norm());
+}
+
+TEST(BlockPrune, BpPrunedCountsThresholdMode) {
+  Tensor w({2, 3}, {1.0F, 0.001F, 1.0F, 1.0F, 0.001F, 1.0F});
+  BpConfig cfg;
+  cfg.num_blocks = 1;
+  cfg.mode = BpConfig::Mode::kThreshold;
+  cfg.threshold = 0.01;
+  const auto counts = bp_pruned_counts(w, cfg);
+  ASSERT_EQ(counts.size(), 1U);
+  EXPECT_EQ(counts[0], 1);
+}
+
+TEST(GroupLasso, PenaltyMatchesClosedForm) {
+  // 2x2, one block: penalty = ||col0|| + ||col1||.
+  Var w(Tensor({2, 2}, {3.0F, 0.0F, 4.0F, 0.0F}), true);
+  const Var pen = group_lasso_penalty(w, 1, {}, 1e-6F);
+  EXPECT_NEAR(pen.item(), 5.0F, 1e-3F);
+}
+
+TEST(GroupLasso, GradientMatchesFiniteDifference) {
+  Rng rng(5);
+  Var w(Tensor::rand_uniform({4, 3}, rng, 0.3F, 1.0F), true);
+  const auto result = grad_check(
+      {w}, [&] { return group_lasso_penalty(w, 2); }, 1e-3F);
+  EXPECT_TRUE(result.ok(2e-2)) << result.max_abs_err;
+}
+
+TEST(GroupLasso, ReweightingPenalizesSmallGroupsMore) {
+  Tensor w({2, 2}, {10.0F, 0.1F, 10.0F, 0.1F});
+  const auto coeffs = reweighting_coefficients(w, 1);
+  ASSERT_EQ(coeffs.size(), 2U);
+  EXPECT_GT(coeffs[1], coeffs[0]);  // small column -> large coefficient
+}
+
+TEST(PatternPrune, KeptForSparsity) {
+  EXPECT_EQ(kept_for_sparsity(10, 0.0), 100);
+  EXPECT_EQ(kept_for_sparsity(10, 0.75), 25);
+  EXPECT_EQ(kept_for_sparsity(10, 1.0), 1);  // clamped to >= 1
+}
+
+TEST(PatternPrune, ImportanceMapAccumulatesMagnitudes) {
+  // Backbone with large values in the top-left corner of every tile.
+  Tensor backbone({4, 4});
+  backbone[0] = 10.0F;                       // tile (0,0) corner
+  backbone[0 * 4 + 2] = 10.0F;               // tile (0,1) corner
+  backbone[2 * 4 + 0] = 10.0F;               // tile (1,0) corner
+  backbone[2 * 4 + 2] = 10.0F;               // tile (1,1) corner
+  Rng rng(6);
+  const Tensor imp = pattern_importance_map(backbone, 2, 4, rng);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[0], imp[3]);
+}
+
+TEST(PatternPrune, BuildSetRespectsSparsityAndSize) {
+  Rng rng(7);
+  const Tensor backbone = Tensor::randn({16, 16}, rng);
+  const PatternSet set = build_pattern_set(backbone, 4, 0.5, 4, rng);
+  EXPECT_EQ(set.patterns.size(), 4U);
+  for (const auto& p : set.patterns) {
+    EXPECT_EQ(p.count_kept(), kept_for_sparsity(4, 0.5));
+  }
+  EXPECT_NEAR(set.sparsity(), 0.5, 1e-9);
+}
+
+TEST(PatternPrune, GuidedBeatsRandomOnRetainedEnergy) {
+  // The paper's claim behind rPP-vs-PP (Table IV): importance-guided
+  // patterns retain more weight energy than random ones.
+  Rng rng(8);
+  // Backbone with a consistent intra-tile structure.
+  Tensor backbone({32, 32});
+  for (std::int64_t r = 0; r < 32; ++r) {
+    for (std::int64_t c = 0; c < 32; ++c) {
+      // Energy concentrated where (r%8, c%8) is in the top-left quadrant.
+      const bool hot = (r % 8) < 4 && (c % 8) < 4;
+      backbone[r * 32 + c] = hot ? static_cast<float>(rng.normal(0, 1.0))
+                                 : static_cast<float>(rng.normal(0, 0.05));
+    }
+  }
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const PatternSet guided = build_pattern_set(backbone, 8, 0.75, 4, rng_a);
+  const PatternSet random = random_pattern_set(8, 0.75, 4, rng_b);
+  const Tensor gm = mul(backbone, pattern_mask_for_weight(backbone, guided));
+  const Tensor rm = mul(backbone, pattern_mask_for_weight(backbone, random));
+  EXPECT_GT(gm.l2_norm(), rm.l2_norm());
+}
+
+TEST(PatternPrune, MaskForWeightSparsityMatchesSet) {
+  Rng rng(10);
+  const Tensor w = Tensor::randn({16, 16}, rng);
+  const PatternSet set = random_pattern_set(4, 0.5, 3, rng);
+  const Tensor mask = pattern_mask_for_weight(w, set);
+  EXPECT_NEAR(mask.sparsity(), 0.5, 1e-9);
+}
+
+TEST(PatternPrune, RejectsIndivisibleDims) {
+  Rng rng(11);
+  const Tensor w = Tensor::randn({10, 10}, rng);
+  const PatternSet set = random_pattern_set(4, 0.5, 2, rng);
+  EXPECT_THROW(pattern_mask_for_weight(w, set), CheckError);
+}
+
+class PrunerFixture : public ::testing::Test {
+ protected:
+  PrunerFixture() : rng_(12) {
+    for (int i = 0; i < 3; ++i) {
+      layers_.push_back(std::make_unique<Linear>(16, 16, rng_));
+    }
+    for (auto& l : layers_) {
+      raw_.push_back(l.get());
+    }
+  }
+  Rng rng_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+  std::vector<Linear*> raw_;
+};
+
+TEST_F(PrunerFixture, BpInstallsBackboneMasks) {
+  ModelPruner pruner(raw_);
+  BpConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.prune_fraction = 0.5;
+  pruner.apply_bp(cfg);
+  EXPECT_TRUE(pruner.has_backbone());
+  EXPECT_NEAR(pruner.overall_sparsity(), 0.5, 1e-9);
+  for (Linear* l : raw_) {
+    EXPECT_TRUE(l->has_mask());
+  }
+}
+
+TEST_F(PrunerFixture, PatternComposesOnTopOfBackbone) {
+  ModelPruner pruner(raw_);
+  BpConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.prune_fraction = 0.5;
+  pruner.apply_bp(cfg);
+  Rng rng(13);
+  const PatternSet set = random_pattern_set(4, 0.5, 3, rng);
+  const double sparsity = pruner.apply_pattern_set(set);
+  // Composed sparsity >= max of the two (mask AND).
+  EXPECT_GE(sparsity, 0.5);
+  EXPECT_LE(sparsity, 1.0);
+  // Composed mask must never keep an entry the backbone pruned.
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const Tensor& composed = raw_[i]->mask();
+    const Tensor& backbone = pruner.backbone_masks()[i];
+    for (std::int64_t k = 0; k < composed.numel(); ++k) {
+      EXPECT_LE(composed[k], backbone[k]);
+    }
+  }
+}
+
+TEST_F(PrunerFixture, RestoreBackboneUndoesPattern) {
+  ModelPruner pruner(raw_);
+  BpConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.prune_fraction = 0.25;
+  pruner.apply_bp(cfg);
+  const double backbone_sparsity = pruner.overall_sparsity();
+  Rng rng(14);
+  pruner.apply_pattern_set(random_pattern_set(4, 0.75, 2, rng));
+  EXPECT_GT(pruner.overall_sparsity(), backbone_sparsity);
+  pruner.restore_backbone();
+  EXPECT_NEAR(pruner.overall_sparsity(), backbone_sparsity, 1e-9);
+}
+
+TEST_F(PrunerFixture, FreezeBackboneOnDenseModel) {
+  ModelPruner pruner(raw_);
+  pruner.freeze_backbone();
+  EXPECT_TRUE(pruner.has_backbone());
+  EXPECT_DOUBLE_EQ(pruner.overall_sparsity(), 0.0);
+  Rng rng(15);
+  const double s = pruner.apply_pattern_set(random_pattern_set(4, 0.5, 2, rng));
+  EXPECT_NEAR(s, 0.5, 1e-9);
+}
+
+TEST_F(PrunerFixture, PatternBeforeBackboneThrows) {
+  ModelPruner pruner(raw_);
+  Rng rng(16);
+  EXPECT_THROW(pruner.apply_pattern_set(random_pattern_set(4, 0.5, 2, rng)),
+               CheckError);
+}
+
+TEST_F(PrunerFixture, TotalWeightsAndBytes) {
+  ModelPruner pruner(raw_);
+  EXPECT_EQ(pruner.total_weights(), 3 * 16 * 16);
+  EXPECT_EQ(pruner.dense_weight_bytes(), 3 * 16 * 16 * 4);
+}
+
+// Sweep: composed sparsity grows monotonically with pattern sparsity.
+class ComposedSparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComposedSparsitySweep, MonotoneComposition) {
+  Rng rng(17);
+  auto layer = std::make_unique<Linear>(16, 16, rng);
+  ModelPruner pruner({layer.get()});
+  BpConfig cfg;
+  cfg.num_blocks = 4;
+  cfg.prune_fraction = 0.25;
+  pruner.apply_bp(cfg);
+  Rng set_rng(18);
+  const PatternSet set = random_pattern_set(4, GetParam(), 2, set_rng);
+  const double s = pruner.apply_pattern_set(set);
+  // Composition can only add zeros relative to either mask alone; compare
+  // against the set's ACTUAL sparsity (kept counts quantize to psize^2).
+  EXPECT_GE(s, std::max(0.25, set.sparsity()) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternSparsities, ComposedSparsitySweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace rt3

@@ -1,0 +1,252 @@
+// Tests for sparse formats: round trips, SpMM equivalence vs dense,
+// storage accounting, pattern semantics.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sparse/block_format.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/pattern.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+namespace {
+
+Tensor random_sparse_dense(std::int64_t rows, std::int64_t cols,
+                           double sparsity, Rng& rng) {
+  Tensor t = Tensor::randn({rows, cols}, rng);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (rng.bernoulli(sparsity)) {
+      t[i] = 0.0F;
+    }
+  }
+  return t;
+}
+
+TEST(Coo, RoundTrip) {
+  Rng rng(1);
+  const Tensor dense = random_sparse_dense(6, 8, 0.6, rng);
+  const CooMatrix coo = CooMatrix::from_dense(dense);
+  EXPECT_TRUE(coo.to_dense().allclose(dense));
+  EXPECT_EQ(coo.nnz(), dense.count_nonzero());
+}
+
+TEST(Coo, MultiplyMatchesDense) {
+  Rng rng(2);
+  const Tensor a = random_sparse_dense(5, 7, 0.5, rng);
+  const Tensor b = Tensor::randn({7, 3}, rng);
+  EXPECT_TRUE(CooMatrix::from_dense(a).multiply(b).allclose(matmul2d(a, b),
+                                                            1e-4F));
+}
+
+TEST(Coo, StorageBytesIsTwelvePerNnz) {
+  Rng rng(3);
+  const Tensor a = random_sparse_dense(10, 10, 0.7, rng);
+  const CooMatrix coo = CooMatrix::from_dense(a);
+  EXPECT_EQ(coo.storage_bytes(), coo.nnz() * 12);
+}
+
+TEST(Csr, RoundTripFromDenseAndCoo) {
+  Rng rng(4);
+  const Tensor dense = random_sparse_dense(6, 9, 0.6, rng);
+  EXPECT_TRUE(CsrMatrix::from_dense(dense).to_dense().allclose(dense));
+  const CooMatrix coo = CooMatrix::from_dense(dense);
+  EXPECT_TRUE(CsrMatrix::from_coo(coo).to_dense().allclose(dense));
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  Rng rng(5);
+  const Tensor a = random_sparse_dense(8, 6, 0.4, rng);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  EXPECT_TRUE(CsrMatrix::from_dense(a).multiply(b).allclose(matmul2d(a, b),
+                                                            1e-4F));
+}
+
+TEST(Csr, BeatsOrTiesCooStorage) {
+  Rng rng(6);
+  const Tensor a = random_sparse_dense(20, 20, 0.8, rng);
+  const auto coo = CooMatrix::from_dense(a);
+  const auto csr = CsrMatrix::from_dense(a);
+  // 8 B/nnz + row ptr vs 12 B/nnz: CSR wins once nnz > rows+1.
+  EXPECT_LE(csr.storage_bytes(), coo.storage_bytes() + 21 * 4);
+}
+
+Tensor block_pruned_dense(std::int64_t rows, std::int64_t cols,
+                          std::int64_t num_blocks, double col_prune,
+                          Rng& rng) {
+  Tensor t = Tensor::randn({rows, cols}, rng);
+  const std::int64_t block_rows = rows / num_blocks;
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(col_prune)) {
+        for (std::int64_t r = b * block_rows; r < (b + 1) * block_rows; ++r) {
+          t[r * cols + c] = 0.0F;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+TEST(BlockFormat, RoundTrip) {
+  Rng rng(7);
+  const Tensor dense = block_pruned_dense(12, 10, 3, 0.5, rng);
+  const auto blocked = BlockPrunedMatrix::from_dense(dense, 3);
+  EXPECT_TRUE(blocked.to_dense().allclose(dense));
+  EXPECT_EQ(blocked.num_blocks(), 3);
+}
+
+TEST(BlockFormat, MultiplyMatchesDense) {
+  Rng rng(8);
+  const Tensor a = block_pruned_dense(8, 12, 4, 0.6, rng);
+  const Tensor b = Tensor::randn({12, 5}, rng);
+  EXPECT_TRUE(BlockPrunedMatrix::from_dense(a, 4).multiply(b).allclose(
+      matmul2d(a, b), 1e-4F));
+}
+
+TEST(BlockFormat, StorageBeatsCooAtBlockSparsity) {
+  // The paper's Challenge-1 claim: per-block column indices are much
+  // cheaper than per-element COO coordinates.
+  Rng rng(9);
+  const Tensor a = block_pruned_dense(40, 40, 4, 0.5, rng);
+  const auto blocked = BlockPrunedMatrix::from_dense(a, 4);
+  const auto coo = CooMatrix::from_dense(a);
+  EXPECT_LT(blocked.storage_bytes(), coo.storage_bytes());
+}
+
+TEST(BlockFormat, RejectsBadBlockCount) {
+  Rng rng(10);
+  const Tensor a = Tensor::randn({10, 10}, rng);
+  EXPECT_THROW(BlockPrunedMatrix::from_dense(a, 3), CheckError);
+}
+
+TEST(Pattern, FromImportanceKeepsTopK) {
+  Tensor imp({2, 2}, {0.9F, 0.1F, 0.5F, 0.7F});
+  const Pattern p = Pattern::from_importance(imp, 2);
+  EXPECT_TRUE(p.kept(0, 0));   // 0.9
+  EXPECT_TRUE(p.kept(1, 1));   // 0.7
+  EXPECT_FALSE(p.kept(0, 1));  // 0.1
+  EXPECT_EQ(p.count_kept(), 2);
+  EXPECT_DOUBLE_EQ(p.sparsity(), 0.5);
+}
+
+TEST(Pattern, MaskAndAscii) {
+  const Pattern p = Pattern::dense(3);
+  EXPECT_TRUE(p.to_mask().allclose(Tensor::ones({3, 3})));
+  EXPECT_EQ(p.to_ascii(), "###\n###\n###\n");
+}
+
+TEST(Pattern, RetainedL2PicksEnergy) {
+  Tensor block({2, 2}, {3.0F, 0.0F, 0.0F, 4.0F});
+  Pattern diag(2, {1, 0, 0, 1});
+  Pattern anti(2, {0, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(diag.retained_l2(block), 25.0);
+  EXPECT_DOUBLE_EQ(anti.retained_l2(block), 0.0);
+}
+
+TEST(Pattern, OverlapSelfIsOne) {
+  Rng rng(11);
+  Tensor imp = Tensor::rand_uniform({4, 4}, rng, 0.0F, 1.0F);
+  const Pattern p = Pattern::from_importance(imp, 7);
+  EXPECT_DOUBLE_EQ(p.overlap(p), 1.0);
+  const Pattern q = Pattern::dense(4);
+  EXPECT_NEAR(p.overlap(q), 7.0 / 16.0, 1e-12);
+}
+
+TEST(Pattern, RejectsMalformed) {
+  EXPECT_THROW(Pattern(2, {1, 0, 1}), CheckError);
+  EXPECT_THROW(Pattern(2, {1, 0, 2, 1}), CheckError);
+}
+
+TEST(PatternSet, StorageBytesPacksBits) {
+  PatternSet set;
+  set.patterns.push_back(Pattern::dense(8));
+  set.patterns.push_back(Pattern::dense(8));
+  // 64 bits -> 8 bytes per pattern.
+  EXPECT_EQ(set.storage_bytes(), 16);
+}
+
+TEST(PatternMasked, RoundTripPreservesKeptEntries) {
+  Rng rng(12);
+  const Tensor dense = Tensor::randn({8, 8}, rng);
+  PatternSet set;
+  set.patterns.push_back(Pattern::from_importance(
+      Tensor::rand_uniform({4, 4}, rng, 0.0F, 1.0F), 8));
+  set.patterns.push_back(Pattern::from_importance(
+      Tensor::rand_uniform({4, 4}, rng, 0.0F, 1.0F), 8));
+  const auto pm = PatternMaskedMatrix::from_dense(dense, set);
+  const Tensor back = pm.to_dense();
+  // Every nonzero of the reconstruction matches the original.
+  for (std::int64_t i = 0; i < back.numel(); ++i) {
+    if (back[i] != 0.0F) {
+      EXPECT_FLOAT_EQ(back[i], dense[i]);
+    }
+  }
+  EXPECT_NEAR(pm.sparsity(), 0.5, 1e-12);
+}
+
+TEST(PatternMasked, MultiplyMatchesMaskedDense) {
+  Rng rng(13);
+  const Tensor dense = Tensor::randn({8, 12}, rng);
+  PatternSet set;
+  set.patterns.push_back(Pattern::from_importance(
+      Tensor::rand_uniform({4, 4}, rng, 0.0F, 1.0F), 6));
+  const auto pm = PatternMaskedMatrix::from_dense(dense, set);
+  const Tensor b = Tensor::randn({12, 3}, rng);
+  EXPECT_TRUE(pm.multiply(b).allclose(matmul2d(pm.to_dense(), b), 1e-4F));
+}
+
+TEST(PatternMasked, ChoosesMaxRetainedL2PerTile) {
+  // Construct a matrix where tile (0,0) has energy on the diagonal and tile
+  // (0,1) off-diagonal; with two complementary patterns the assignment must
+  // differ per tile.
+  Tensor dense({2, 4});
+  dense[0 * 4 + 0] = 5.0F;  // tile 0: diagonal
+  dense[1 * 4 + 1] = 5.0F;
+  dense[0 * 4 + 3] = 5.0F;  // tile 1: anti-diagonal
+  dense[1 * 4 + 2] = 5.0F;
+  PatternSet set;
+  set.patterns.emplace_back(2, std::vector<std::uint8_t>{1, 0, 0, 1});
+  set.patterns.emplace_back(2, std::vector<std::uint8_t>{0, 1, 1, 0});
+  const auto pm = PatternMaskedMatrix::from_dense(dense, set);
+  ASSERT_EQ(pm.assignments().size(), 2U);
+  EXPECT_EQ(pm.assignments()[0], 0);
+  EXPECT_EQ(pm.assignments()[1], 1);
+  // Nothing lost: reconstruction is exact for this construction.
+  EXPECT_TRUE(pm.to_dense().allclose(dense));
+}
+
+TEST(PatternMasked, SwitchPayloadIsTiny) {
+  // The run-time switch only moves pattern bitmaps + tile ids, far less
+  // than the dense weight bytes (basis of the paper's 1000x switch gain).
+  Rng rng(14);
+  const Tensor dense = Tensor::randn({64, 64}, rng);
+  PatternSet set;
+  for (int i = 0; i < 4; ++i) {
+    set.patterns.push_back(Pattern::from_importance(
+        Tensor::rand_uniform({8, 8}, rng, 0.0F, 1.0F), 32));
+  }
+  const auto pm = PatternMaskedMatrix::from_dense(dense, set);
+  EXPECT_LT(pm.switch_payload_bytes(), dense.numel() * 4 / 20);
+}
+
+// Sweep: all formats agree with dense multiply across sparsities.
+class FormatEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatEquivalence, AllFormatsMatchDense) {
+  Rng rng(15);
+  const double sparsity = GetParam();
+  const Tensor a = random_sparse_dense(12, 12, sparsity, rng);
+  const Tensor b = Tensor::randn({12, 4}, rng);
+  const Tensor expected = matmul2d(a, b);
+  EXPECT_TRUE(CooMatrix::from_dense(a).multiply(b).allclose(expected, 1e-4F));
+  EXPECT_TRUE(CsrMatrix::from_dense(a).multiply(b).allclose(expected, 1e-4F));
+  EXPECT_TRUE(BlockPrunedMatrix::from_dense(a, 4).multiply(b).allclose(
+      expected, 1e-4F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, FormatEquivalence,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.8, 0.95));
+
+}  // namespace
+}  // namespace rt3

@@ -1,0 +1,179 @@
+// Unit tests for rt3::Tensor — construction, access, arithmetic, matmul,
+// reductions, sparsity accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(-1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0F);
+  }
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0F, 2.0F}), CheckError);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_EQ(Tensor::ones({3})[1], 1.0F);
+  EXPECT_EQ(Tensor::full({2}, 7.0F)[0], 7.0F);
+  EXPECT_EQ(Tensor::scalar(3.5F).numel(), 1);
+  EXPECT_EQ(Tensor::from_vector({1, 2, 3}).size(0), 3);
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng, 2.0F);
+  EXPECT_NEAR(t.mean(), 0.0F, 0.1F);
+  // stddev ~ 2 -> l2^2/n ~ 4
+  const float msq = t.l2_norm() * t.l2_norm() / 10000.0F;
+  EXPECT_NEAR(msq, 4.0F, 0.3F);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0F);
+  EXPECT_EQ(t.at({1, 2}), 5.0F);
+  EXPECT_EQ(t.flat_index({1, 0}), 3);
+  EXPECT_THROW(t.at({2, 0}), CheckError);
+  EXPECT_THROW(t.at({0}), CheckError);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at({2, 1}), 5.0F);
+  EXPECT_THROW(t.reshaped({4, 2}), CheckError);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[2], 33.0F);
+  a.scale_(0.5F);
+  EXPECT_EQ(a[0], 5.5F);
+  a.add_scaled_(b, -0.1F);
+  EXPECT_NEAR(a[1], 11.0F - 2.0F, 1e-5F);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_EQ(t.sum(), -2.0F);
+  EXPECT_EQ(t.mean(), -0.5F);
+  EXPECT_EQ(t.min(), -4.0F);
+  EXPECT_EQ(t.max(), 3.0F);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(30.0F), 1e-5F);
+}
+
+TEST(Tensor, SparsityAccounting) {
+  Tensor t({5}, {0, 1, 0, 2, 0});
+  EXPECT_EQ(t.count_nonzero(), 2);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.6);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a({2}, {1.0F, 2.0F});
+  Tensor b({2}, {1.0F + 1e-6F, 2.0F});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor({2}, {1.1F, 2.0F})));
+  EXPECT_FALSE(a.allclose(Tensor({1, 2}, {1.0F, 2.0F})));
+}
+
+TEST(Tensor, FreeArithmetic) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  EXPECT_EQ(add(a, b)[1], 6.0F);
+  EXPECT_EQ(sub(b, a)[0], 2.0F);
+  EXPECT_EQ(mul(a, b)[1], 8.0F);
+  EXPECT_THROW(add(a, Tensor({3})), CheckError);
+}
+
+TEST(Tensor, Matmul2dKnownValues) {
+  // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul2d(a, b);
+  EXPECT_EQ(c[0], 19.0F);
+  EXPECT_EQ(c[1], 22.0F);
+  EXPECT_EQ(c[2], 43.0F);
+  EXPECT_EQ(c[3], 50.0F);
+}
+
+TEST(Tensor, MatmulShapeChecks) {
+  EXPECT_THROW(matmul2d(Tensor({2, 3}), Tensor({2, 3})), CheckError);
+  EXPECT_THROW(matmul2d(Tensor({6}), Tensor({6})), CheckError);
+}
+
+TEST(Tensor, MatmulRectangular) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = matmul2d(a, b);
+  EXPECT_EQ(c.size(0), 1);
+  EXPECT_EQ(c.size(1), 2);
+  EXPECT_EQ(c[0], 4.0F);
+  EXPECT_EQ(c[1], 5.0F);
+}
+
+TEST(Tensor, Transpose2d) {
+  Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.size(0), 3);
+  EXPECT_EQ(t.at({1, 1}), 4.0F);
+  EXPECT_EQ(t.at({2, 0}), 2.0F);
+}
+
+// Property: transpose(transpose(A)) == A; (AB)^T == B^T A^T.
+TEST(Tensor, TransposeProperties) {
+  Rng rng(9);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({6, 3}, rng);
+  EXPECT_TRUE(transpose2d(transpose2d(a)).allclose(a));
+  EXPECT_TRUE(transpose2d(matmul2d(a, b))
+                  .allclose(matmul2d(transpose2d(b), transpose2d(a)), 1e-4F));
+}
+
+// Parameterized sweep over shapes: matmul against a naive reference.
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 31 + k * 7 + n);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor fast = matmul2d(a, b);
+  Tensor ref({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += a[i * k + kk] * b[kk * n + j];
+      }
+      ref[i * n + j] = acc;
+    }
+  }
+  EXPECT_TRUE(fast.allclose(ref, 1e-4F));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatmulShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 8, 1},
+                      std::tuple{5, 3, 7}, std::tuple{16, 16, 16},
+                      std::tuple{2, 33, 9}, std::tuple{31, 1, 31}));
+
+}  // namespace
+}  // namespace rt3

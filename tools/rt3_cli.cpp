@@ -1,0 +1,198 @@
+// rt3 — command-line front end for the RT3 pipeline and runtime.
+//
+//   rt3 search [--t MS] [--episodes N] [--out FILE]   run the two-level
+//       AutoML search on the built-in WikiText-2 analog and write a
+//       deployment package
+//   rt3 info FILE                                     inspect a package
+//   rt3 simulate [--capacity MJ] [--t MS]             battery discharge
+//       simulation across the paper's {l6,l4,l3} ladder
+//   rt3 levels                                        print the V/F ladder
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace rt3;
+
+double arg_double(const std::vector<std::string>& args,
+                  const std::string& flag, double fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      return std::stod(args[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+std::string arg_string(const std::vector<std::string>& args,
+                       const std::string& flag, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      return args[i + 1];
+    }
+  }
+  return fallback;
+}
+
+int cmd_levels() {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  const PowerModel power;
+  TablePrinter t({"level", "freq (MHz)", "volt (mV)", "power (mW)"});
+  for (std::int64_t i = 0; i < table.size(); ++i) {
+    const auto& l = table.level(i);
+    t.add_row({l.name, fmt_f(l.freq_mhz, 0), fmt_f(l.volt_mv, 2),
+               fmt_f(power.power_mw(l), 1)});
+  }
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const DeploymentPackage pkg = DeploymentPackage::load(path);
+  std::cout << "package: " << path << "\n"
+            << "  parameters   : " << pkg.params.size() << " tensors, "
+            << pkg.resident_bytes() / 1024 << " KiB resident\n"
+            << "  backbone masks: " << pkg.backbone_masks.size() << "\n"
+            << "  pattern sets : " << pkg.pattern_sets.size() << "\n\n";
+  TablePrinter t({"level", "freq", "pattern spars.", "overall spars.",
+                  "latency (ms)", "accuracy", "switch bytes"});
+  for (std::size_t i = 0; i < pkg.levels.size(); ++i) {
+    const auto& m = pkg.levels[i];
+    t.add_row({m.level_name, fmt_f(m.freq_mhz, 0),
+               fmt_pct(m.pattern_sparsity), fmt_pct(m.overall_sparsity),
+               fmt_f(m.latency_ms, 2), fmt_pct(m.accuracy),
+               std::to_string(pkg.switch_bytes(static_cast<std::int64_t>(i)))});
+  }
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_search(const std::vector<std::string>& args) {
+  const double t_ms = arg_double(args, "--t", 104.0);
+  const auto episodes =
+      static_cast<std::int64_t>(arg_double(args, "--episodes", 4));
+  const std::string out = arg_string(args, "--out", "rt3_package.bin");
+
+  std::cout << "training workload and running RT3 search (T = " << t_ms
+            << " ms, " << episodes << " episodes)...\n";
+  CorpusConfig ccfg;
+  ccfg.vocab_size = 64;
+  ccfg.num_tokens = 8000;
+  const Corpus corpus(ccfg);
+  TransformerLmConfig mcfg;
+  mcfg.vocab_size = 64;
+  mcfg.d_model = 32;
+  mcfg.num_heads = 4;
+  mcfg.ffn_hidden = 64;
+  TransformerLm model(mcfg);
+  TrainConfig pre;
+  pre.steps = 200;
+  pre.batch = 12;
+  pre.seq_len = 16;
+  pre.lr = 8e-3F;
+  train_lm(model, corpus, pre);
+
+  Rt3Options options;
+  options.timing_constraint_ms = t_ms;
+  options.episodes = episodes;
+  options.bp.num_blocks = 4;
+  options.bp.prune_fraction = 0.35;
+  options.space.psize = 8;
+  options.episode_train.steps = 16;
+  options.final_train.steps = 80;
+  options.backbone_train.steps = 50;
+  Rt3LmPipeline pipeline(model, corpus, options,
+                         ModelSpec::paper_transformer());
+  const Rt3Result result = pipeline.run();
+
+  TablePrinter t({"level", "sparsity", "latency", "accuracy"});
+  for (const auto& sub : result.levels) {
+    t.add_row({sub.level_name, fmt_pct(sub.overall_sparsity),
+               fmt_f(sub.latency_ms, 2) + " ms", fmt_pct(sub.accuracy)});
+  }
+  std::cout << t.str();
+  pipeline.package(result).save(out);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  const double capacity = arg_double(args, "--capacity", 5e4);
+  const double t_ms = arg_double(args, "--t", 115.0);
+  const VfTable table = VfTable::odroid_xu3_a7();
+  const PowerModel power;
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  LatencyModel latency;
+  latency.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
+  std::vector<double> sparsities;
+  for (std::int64_t li : {5, 3, 2}) {
+    sparsities.push_back(std::max(
+        0.6426, latency.sparsity_for_latency(spec, ExecMode::kPattern,
+                                             table.level(li).freq_mhz,
+                                             t_ms)));
+  }
+  DischargeConfig cfg;
+  cfg.battery_capacity_mj = capacity;
+  cfg.timing_constraint_ms = t_ms;
+  cfg.software_reconfig = true;
+  const DischargeStats stats = simulate_discharge(
+      cfg, table, Governor::equal_tranches({5, 3, 2}), power, latency, spec,
+      sparsities, ExecMode::kPattern);
+  std::cout << "battery " << capacity << " mJ, T = " << t_ms << " ms\n"
+            << "  runs            : " << stats.total_runs << "\n"
+            << "  deadline misses : " << stats.deadline_misses << "\n"
+            << "  level switches  : " << stats.switches << "\n"
+            << "  active time     : " << fmt_f(stats.simulated_seconds, 1)
+            << " s\n";
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "usage: rt3 <command> [options]\n"
+      "  search   [--t MS] [--episodes N] [--out FILE]  run the AutoML search\n"
+      "  info     FILE                                  inspect a package\n"
+      "  simulate [--capacity MJ] [--t MS]              discharge simulation\n"
+      "  levels                                         print the V/F ladder\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  try {
+    if (cmd == "levels") {
+      return cmd_levels();
+    }
+    if (cmd == "info") {
+      if (args.empty()) {
+        return usage();
+      }
+      return cmd_info(args[0]);
+    }
+    if (cmd == "search") {
+      return cmd_search(args);
+    }
+    if (cmd == "simulate") {
+      return cmd_simulate(args);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
