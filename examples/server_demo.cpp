@@ -1,0 +1,60 @@
+// Battery-aware serving demo: the same bursty traffic served twice over
+// identical batteries —
+//   A. hardware-only reconfiguration (DVFS steps down, same sub-model):
+//      every request at the slower levels blows the deadline;
+//   B. RT3 (DVFS + pattern-set switching between batches): the engine
+//      swaps to a sparser sub-model when the governor steps down, so the
+//      deadline holds across the whole discharge and nothing is lost.
+// This is the serving-system version of the battery_sim example.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/traffic.hpp"
+
+int main() {
+  using namespace rt3;
+  std::cout << "RT3 serving demo: bursty traffic along a draining battery\n"
+            << "=========================================================\n\n";
+
+  TrafficConfig tcfg;
+  tcfg.scenario = TrafficScenario::kBurst;
+  tcfg.rate_rps = 3.0;
+  tcfg.duration_ms = 60'000.0;
+  tcfg.deadline_slack_ms = 350.0;
+  const std::vector<Request> schedule = generate_traffic(tcfg);
+  std::cout << schedule.size() << " requests over "
+            << fmt_f(tcfg.duration_ms / 1000.0, 0)
+            << " s, deadline = arrival + " << fmt_f(tcfg.deadline_slack_ms, 0)
+            << " ms\n\n";
+
+  ServeSessionConfig hw_only;
+  hw_only.software_reconfig = false;
+  ServeSession a(hw_only);
+  const ServerStats sa = a.server().serve(schedule);
+
+  ServeSessionConfig rt3_cfg;  // software_reconfig = true
+  ServeSession b(rt3_cfg);
+  const ServerStats sb = serve_concurrent(b.server(), schedule, 2);
+
+  TablePrinter t({"strategy", "served", "dropped", "p99 (ms)", "miss rate",
+                  "switches", "energy (mJ)"});
+  t.add_row({"A: DVFS only", std::to_string(sa.completed),
+             std::to_string(sa.dropped), fmt_f(sa.latency_percentile(99.0), 1),
+             fmt_pct(sa.miss_rate()), std::to_string(sa.switches),
+             fmt_f(sa.energy_used_mj, 0)});
+  t.add_row({"B: DVFS + RT3", std::to_string(sb.completed),
+             std::to_string(sb.dropped), fmt_f(sb.latency_percentile(99.0), 1),
+             fmt_pct(sb.miss_rate()), std::to_string(sb.switches),
+             fmt_f(sb.energy_used_mj, 0)});
+  std::cout << t.str() << "\nRT3 session detail:\n" << sb.summary();
+
+  std::cout << "\nWith hardware-only reconfiguration the fixed sub-model "
+               "breaks the per-\ninference deadline as soon as the governor "
+               "leaves F-mode; RT3 drains the\nin-flight batch, swaps the "
+               "pattern set in milliseconds, and keeps the\nsub-model inside "
+               "T at every level, so only burst-queueing tails miss\n(paper "
+               "Tables II/III, now under concurrent load).\n";
+  return 0;
+}

@@ -51,6 +51,21 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+double percentile(std::vector<double> xs, double p) {
+  check(p >= 0.0 && p <= 100.0, "percentile: p out of [0, 100]");
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= xs.size()) {
+    return xs.back();
+  }
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 std::vector<double> average_ranks(const std::vector<double>& xs) {
   const std::size_t n = xs.size();
   std::vector<std::size_t> order(n);

@@ -35,4 +35,9 @@ double matthews_corr(const std::vector<std::int64_t>& pred,
 /// Ranks with ties averaged, as used by spearman(); exposed for tests.
 std::vector<double> average_ranks(const std::vector<double>& xs);
 
+/// p-th percentile (p in [0, 100]) with linear interpolation between
+/// closest ranks; returns 0 for an empty vector.  Used by the serving
+/// latency aggregator (p50/p95/p99).
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace rt3

@@ -1,0 +1,51 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy) {
+  check(policy_.max_batch_size >= 1, "Batcher: max_batch_size must be >= 1");
+  check(policy_.max_wait_ms >= 0.0, "Batcher: negative max_wait_ms");
+}
+
+void Batcher::push(const Request& r) {
+  check(pending_.empty() || pending_.back().arrival_ms <= r.arrival_ms,
+        "Batcher: requests must arrive in timestamp order");
+  pending_.push_back(r);
+}
+
+bool Batcher::ready(double now_ms) const {
+  if (pending_.empty()) {
+    return false;
+  }
+  if (static_cast<std::int64_t>(pending_.size()) >= policy_.max_batch_size) {
+    return true;
+  }
+  return now_ms >= release_at_ms();
+}
+
+double Batcher::release_at_ms() const {
+  if (pending_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return pending_.front().arrival_ms + policy_.max_wait_ms;
+}
+
+std::vector<Request> Batcher::pop_batch(double now_ms, bool force) {
+  check(force || ready(now_ms), "Batcher: pop_batch before ready");
+  std::vector<Request> batch;
+  const auto take = static_cast<std::size_t>(
+      std::min<std::int64_t>(policy_.max_batch_size, pending()));
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(pending_.front());
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+}  // namespace rt3

@@ -1,0 +1,57 @@
+// Dynamic batching under a max-size / max-wait policy, on a virtual clock.
+//
+// The batcher holds admitted requests in arrival order and releases a
+// batch when either (a) max_batch_size requests are pending, or (b) the
+// oldest pending request has waited max_wait_ms.  It is deliberately
+// clock-agnostic: callers pass `now_ms` explicitly, which makes batch
+// formation deterministic in tests and lets the Server drive it from the
+// simulated discharge clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace rt3 {
+
+struct BatchPolicy {
+  /// Upper bound on requests per batch (>= 1).
+  std::int64_t max_batch_size = 8;
+  /// Longest a request may sit in the batcher before forcing release.
+  double max_wait_ms = 25.0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatchPolicy policy);
+
+  /// Admits a request (requests must be pushed in arrival order).
+  void push(const Request& r);
+
+  /// True when a batch should be released at virtual time `now_ms`.
+  bool ready(double now_ms) const;
+
+  /// Virtual time at which the oldest pending request forces a release
+  /// (its arrival + max_wait); +infinity when nothing is pending.  The
+  /// server uses this to decide how far to advance the clock while idle.
+  double release_at_ms() const;
+
+  /// Removes and returns the oldest up-to-max_batch_size requests.
+  /// Requires ready(now_ms) or force; the returned batch is never empty
+  /// unless nothing was pending.
+  std::vector<Request> pop_batch(double now_ms, bool force = false);
+
+  std::int64_t pending() const {
+    return static_cast<std::int64_t>(pending_.size());
+  }
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+  std::deque<Request> pending_;
+};
+
+}  // namespace rt3

@@ -1,0 +1,70 @@
+#include "serve/request.hpp"
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+RequestQueue::RequestQueue(std::int64_t capacity) : capacity_(capacity) {
+  check(capacity >= 0, "RequestQueue: negative capacity");
+}
+
+bool RequestQueue::push(Request r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return closed_ || capacity_ == 0 ||
+           static_cast<std::int64_t>(items_.size()) < capacity_;
+  });
+  if (closed_) {
+    return false;
+  }
+  items_.push_back(r);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(Request& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) {
+    return false;  // closed and drained
+  }
+  out = items_.front();
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_pop(Request& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (items_.empty()) {
+    return false;
+  }
+  out = items_.front();
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::int64_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(items_.size());
+}
+
+}  // namespace rt3

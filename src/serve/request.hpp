@@ -1,0 +1,61 @@
+// Deadline-tagged inference requests and the MPMC queue that carries them
+// from producers (traffic sources, RPC front-ends) to the serving loop.
+//
+// Time in the serving subsystem is VIRTUAL and measured in milliseconds
+// from session start: requests carry their arrival and absolute deadline
+// timestamps, and the Server advances a simulated clock as batches
+// execute.  This keeps every serve session bit-reproducible from a seed
+// while the queue and thread pool remain real concurrency primitives.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace rt3 {
+
+/// One inference request flowing through the serving subsystem.
+struct Request {
+  std::int64_t id = 0;
+  /// Virtual arrival timestamp (ms since session start).
+  double arrival_ms = 0.0;
+  /// Absolute virtual deadline; a request completing after this counts as
+  /// a deadline miss (the paper's timing constraint T, per request).
+  double deadline_ms = 0.0;
+};
+
+/// Blocking multi-producer/multi-consumer queue of requests.
+///
+/// Producers push concurrently; consumers pop concurrently.  close()
+/// wakes everyone: pushes are rejected afterwards, pops drain what is
+/// left and then return false.  capacity 0 means unbounded; a bounded
+/// queue blocks producers when full (back-pressure).
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::int64_t capacity = 0);
+
+  /// Blocks while a bounded queue is full; returns false iff closed.
+  bool push(Request r);
+
+  /// Blocks until an item arrives or the queue is closed and drained;
+  /// returns false only in the latter case.
+  bool pop(Request& out);
+
+  /// Non-blocking pop; false if nothing is immediately available.
+  bool try_pop(Request& out);
+
+  void close();
+  bool closed() const;
+  std::int64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> items_;
+  std::int64_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace rt3

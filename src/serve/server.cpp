@@ -1,0 +1,234 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/check.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace rt3 {
+
+Server::Server(ServerConfig config, VfTable table, Governor governor,
+               PowerModel power, LatencyModel latency, ModelSpec spec,
+               std::vector<double> sparsities)
+    : config_(config),
+      table_(std::move(table)),
+      governor_(std::move(governor)),
+      power_(power),
+      latency_(latency),
+      spec_(std::move(spec)),
+      sparsities_(std::move(sparsities)),
+      battery_(config.battery_capacity_mj) {
+  check(sparsities_.size() == governor_.levels().size(),
+        "Server: one sparsity per governor level required");
+  Batcher policy_probe(config_.batch);  // reject a bad policy up front
+  for (std::int64_t li : governor_.levels()) {
+    check(li >= 0 && li < table_.size(), "Server: governor level not in table");
+  }
+}
+
+void Server::attach_engine(ReconfigEngine* engine) {
+  if (engine != nullptr) {
+    check(engine->num_levels() ==
+              static_cast<std::int64_t>(governor_.levels().size()),
+          "Server: engine must have one pattern set per governor level");
+  }
+  engine_ = engine;
+}
+
+void Server::set_batch_observer(BatchObserver observer) {
+  observer_ = std::move(observer);
+}
+
+std::int64_t Server::level_position(double battery_fraction) const {
+  const std::int64_t table_level = governor_.level_for(battery_fraction);
+  for (std::size_t i = 0; i < governor_.levels().size(); ++i) {
+    if (governor_.levels()[i] == table_level) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  throw CheckError("Server: governor returned a level outside its list");
+}
+
+double Server::sparsity_for(std::int64_t level_pos) const {
+  return config_.software_reconfig
+             ? sparsities_[static_cast<std::size_t>(level_pos)]
+             : sparsities_.front();
+}
+
+double Server::batch_latency_ms(std::int64_t batch_size,
+                                std::int64_t level_pos) const {
+  check(batch_size >= 1, "Server: empty batch");
+  check(level_pos >= 0 &&
+            level_pos < static_cast<std::int64_t>(governor_.levels().size()),
+        "Server: level position out of range");
+  const VfLevel& level = table_.level(
+      governor_.levels()[static_cast<std::size_t>(level_pos)]);
+  const double cycles_one =
+      latency_.cycles(spec_, sparsity_for(level_pos), config_.exec_mode);
+  const double fixed = latency_.config().fixed_cycles;
+  // One runtime setup per batch, MAC work per request.
+  const double batch_cycles =
+      fixed + (cycles_one - fixed) * static_cast<double>(batch_size);
+  return batch_cycles / (level.freq_mhz * 1000.0);
+}
+
+ServerStats Server::serve(const std::vector<Request>& schedule) {
+  ServerStats stats;
+  stats.submitted = static_cast<std::int64_t>(schedule.size());
+  stats.runs_per_level.assign(governor_.levels().size(), 0.0);
+  battery_.recharge();
+  Batcher batcher(config_.batch);
+
+  const std::int64_t n = stats.submitted;
+  std::int64_t next = 0;   // next schedule index to admit
+  std::int64_t active = -1;  // current governor-level position
+  double now = 0.0;
+
+  while (next < n || batcher.pending() > 0) {
+    if (battery_.empty()) {
+      break;
+    }
+    // Governor decision at the batch boundary only: in-flight work has
+    // drained by construction, queued requests survive the switch.
+    const std::int64_t pos = level_position(battery_.fraction());
+    if (pos != active) {
+      if (config_.software_reconfig && active >= 0) {
+        if (!battery_.drain(config_.switch_energy_mj)) {
+          break;  // no charge left to pay for the switch; session ends
+        }
+        stats.energy_used_mj += config_.switch_energy_mj;
+        const double switch_ms = engine_ != nullptr
+                                     ? engine_->switch_to(pos).modeled_ms
+                                     : config_.switch_latency_ms;
+        ++stats.switches;
+        now += switch_ms;
+        stats.switch_ms_total += switch_ms;
+      } else if (config_.software_reconfig && engine_ != nullptr) {
+        engine_->switch_to(pos);  // initial activation: free at t = 0
+      }
+      active = pos;
+      continue;  // re-read the fraction in case the switch drained it dry
+    }
+
+    // Admit everything that has arrived by now.
+    while (next < n &&
+           schedule[static_cast<std::size_t>(next)].arrival_ms <= now) {
+      batcher.push(schedule[static_cast<std::size_t>(next)]);
+      ++next;
+    }
+
+    if (!batcher.ready(now)) {
+      // Nothing to do yet: jump to the earliest actionable instant —
+      // the max-wait release of the oldest pending request or the next
+      // arrival, whichever comes first.
+      const double next_arrival =
+          next < n ? schedule[static_cast<std::size_t>(next)].arrival_ms
+                   : std::numeric_limits<double>::infinity();
+      const double wake = std::min(batcher.release_at_ms(), next_arrival);
+      check(wake < std::numeric_limits<double>::infinity(),
+            "Server: idle with nothing pending");  // loop condition bars this
+      now = std::max(now, wake);
+      continue;
+    }
+
+    const std::vector<Request> batch = batcher.pop_batch(now);
+    const double lat_ms =
+        batch_latency_ms(static_cast<std::int64_t>(batch.size()), pos);
+    const VfLevel& level =
+        table_.level(governor_.levels()[static_cast<std::size_t>(pos)]);
+    const double energy = power_.energy_mj(level, lat_ms);
+    if (!battery_.drain(energy)) {
+      // Not enough charge for this batch: the session ends here and the
+      // unserved remainder is accounted as dropped.
+      stats.dropped += static_cast<std::int64_t>(batch.size()) +
+                       batcher.pending() + (n - next);
+      break;
+    }
+    const double end = now + lat_ms;
+    for (const Request& r : batch) {
+      stats.latency_ms.push_back(end - r.arrival_ms);
+      if (end > r.deadline_ms) {
+        ++stats.deadline_misses;
+      }
+    }
+    stats.energy_used_mj += energy;
+    stats.completed += static_cast<std::int64_t>(batch.size());
+    stats.runs_per_level[static_cast<std::size_t>(pos)] +=
+        static_cast<double>(batch.size());
+    ++stats.batches;
+    stats.batch_sizes.push_back(static_cast<std::int64_t>(batch.size()));
+    stats.busy_ms += lat_ms;
+    if (observer_) {
+      observer_(batch, pos, now, end);
+    }
+    now = end;
+  }
+
+  if (battery_.empty() && stats.dropped == 0) {
+    stats.dropped = batcher.pending() + (n - next);
+  }
+  stats.sim_end_ms = now;
+  return stats;
+}
+
+ServerStats Server::serve_queue(RequestQueue& queue) {
+  std::vector<Request> collected;
+  Request r;
+  while (queue.pop(r)) {
+    collected.push_back(r);
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_ms != b.arrival_ms ? a.arrival_ms < b.arrival_ms
+                                                  : a.id < b.id;
+            });
+  return serve(collected);
+}
+
+ServerStats serve_concurrent(Server& server,
+                             const std::vector<Request>& schedule,
+                             std::int64_t producers) {
+  check(producers >= 1, "serve_concurrent: need at least one producer");
+  RequestQueue queue;
+  ThreadPool pool(producers);
+  for (std::int64_t p = 0; p < producers; ++p) {
+    pool.submit([&, p] {
+      // Round-robin slice: producer p pushes requests p, p+P, p+2P, ...
+      for (std::size_t i = static_cast<std::size_t>(p); i < schedule.size();
+           i += static_cast<std::size_t>(producers)) {
+        queue.push(schedule[i]);
+      }
+    });
+  }
+  // Close the queue once every producer has drained its slice, so the
+  // consumer (below, on this thread) unblocks after the last request.
+  std::exception_ptr producer_error;
+  std::thread closer([&] {
+    try {
+      pool.wait_idle();
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    queue.close();
+  });
+  ServerStats stats;
+  std::exception_ptr consumer_error;
+  try {
+    stats = server.serve_queue(queue);
+  } catch (...) {
+    consumer_error = std::current_exception();
+    queue.close();  // unblock any producer stuck on a bounded queue
+  }
+  closer.join();
+  if (consumer_error != nullptr) {
+    std::rethrow_exception(consumer_error);
+  }
+  if (producer_error != nullptr) {
+    std::rethrow_exception(producer_error);
+  }
+  return stats;
+}
+
+}  // namespace rt3

@@ -1,0 +1,111 @@
+// Battery-aware inference server with deadline-aware dynamic batching.
+//
+// The Server turns the per-inference ReconfigEngine + battery/governor
+// machinery into a system under load: requests arrive open-loop (see
+// traffic.hpp), a Batcher forms batches under a max-size/max-wait policy,
+// and each batch executes at the V/F level the governor picks for the
+// current battery fraction.  When the governor steps the ladder down the
+// server DRAINS the in-flight batch first, then performs the pattern-set
+// switch — never mid-batch, and never dropping queued requests — and
+// accounts the switch latency and energy against the session.
+//
+// Time is virtual (ms since session start): batch latency comes from the
+// calibrated LatencyModel with the fixed per-inference runtime cost
+// amortized across the batch, energy from the PowerModel, so a session is
+// bit-reproducible and runs in milliseconds of host time.  Ingestion may
+// still be genuinely concurrent: serve_queue() accepts requests from any
+// number of producer threads through the MPMC RequestQueue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dvfs/dvfs.hpp"
+#include "perf/latency_model.hpp"
+#include "perf/model_spec.hpp"
+#include "runtime/engine.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+
+namespace rt3 {
+
+struct ServerConfig {
+  double battery_capacity_mj = 5e4;
+  BatchPolicy batch;
+  /// When false, only the V/F level changes with the battery (the paper's
+  /// E2 baseline): the level-0 sub-model runs everywhere and no switch
+  /// cost is paid.
+  bool software_reconfig = true;
+  /// Energy cost of one pattern-set switch (mJ).
+  double switch_energy_mj = 0.5;
+  /// Switch latency when no ReconfigEngine is attached; with an engine
+  /// the modeled pattern-set switch time is used instead.
+  double switch_latency_ms = 5.0;
+  ExecMode exec_mode = ExecMode::kPattern;
+};
+
+/// Called after every executed batch: the batch, the governor-level
+/// position it ran at, and its virtual start/end times.
+using BatchObserver = std::function<void(
+    const std::vector<Request>&, std::int64_t, double, double)>;
+
+class Server {
+ public:
+  /// `sparsities[i]` is the overall model sparsity of the sub-model for
+  /// governor-level position i (fast -> slow, one per governor level).
+  Server(ServerConfig config, VfTable table, Governor governor,
+         PowerModel power, LatencyModel latency, ModelSpec spec,
+         std::vector<double> sparsities);
+
+  /// Attaches a live ReconfigEngine (non-owning): level switches then
+  /// re-compose real masks and use the engine's modeled switch latency.
+  /// The engine must have one pattern set per governor level.
+  void attach_engine(ReconfigEngine* engine);
+
+  void set_batch_observer(BatchObserver observer);
+
+  /// Runs one full session over a pre-generated arrival schedule
+  /// (sorted by arrival time).  Deterministic.
+  ServerStats serve(const std::vector<Request>& schedule);
+
+  /// Pops requests from the queue until it is closed and drained, orders
+  /// them by arrival timestamp, and runs serve().  Producers may push
+  /// from any number of threads.
+  ServerStats serve_queue(RequestQueue& queue);
+
+  /// Latency of one batch at a governor-level position: the fixed
+  /// per-inference runtime cost is paid once, the MAC cost per request.
+  double batch_latency_ms(std::int64_t batch_size,
+                          std::int64_t level_pos) const;
+
+  const ServerConfig& config() const { return config_; }
+  const Governor& governor() const { return governor_; }
+  const Battery& battery() const { return battery_; }
+
+ private:
+  std::int64_t level_position(double battery_fraction) const;
+  double sparsity_for(std::int64_t level_pos) const;
+
+  ServerConfig config_;
+  VfTable table_;
+  Governor governor_;
+  PowerModel power_;
+  LatencyModel latency_;
+  ModelSpec spec_;
+  std::vector<double> sparsities_;
+  Battery battery_;
+  ReconfigEngine* engine_ = nullptr;
+  BatchObserver observer_;
+};
+
+/// Pushes `schedule` through a RequestQueue from `producers` pool threads
+/// (round-robin slices) while the server consumes — the real MPMC
+/// ingestion path.  Stats are identical to server.serve(schedule): races
+/// in ingestion order are erased by arrival-timestamp ordering.
+ServerStats serve_concurrent(Server& server,
+                             const std::vector<Request>& schedule,
+                             std::int64_t producers);
+
+}  // namespace rt3

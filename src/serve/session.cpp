@@ -1,0 +1,87 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "pruning/pattern_prune.hpp"
+
+namespace rt3 {
+
+const std::vector<std::int64_t>& paper_serve_ladder() {
+  static const std::vector<std::int64_t> ladder = {5, 3, 2};  // F -> N -> E
+  return ladder;
+}
+
+LatencyModel paper_calibrated_latency() {
+  LatencyModel latency;
+  latency.calibrate(ModelSpec::paper_transformer(), 0.6426, ExecMode::kBlock,
+                    1400.0, 114.59);
+  return latency;
+}
+
+std::vector<double> paper_ladder_sparsities(const LatencyModel& latency,
+                                            double timing_constraint_ms) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  std::vector<double> sparsities;
+  for (std::int64_t li : paper_serve_ladder()) {
+    const double tuned = latency.sparsity_for_latency(
+        spec, ExecMode::kPattern, table.level(li).freq_mhz,
+        timing_constraint_ms);
+    sparsities.push_back(std::max(0.6426, tuned));
+  }
+  return sparsities;
+}
+
+ReconfigEngine& ServeSession::engine() {
+  check(engine_ != nullptr,
+        "ServeSession: hardware-only baseline has no ReconfigEngine");
+  return *engine_;
+}
+
+ServeSession::ServeSession(const ServeSessionConfig& config)
+    : rng_(config.seed) {
+  const VfTable table = VfTable::odroid_xu3_a7();
+  const ModelSpec spec = ModelSpec::paper_transformer();
+  const LatencyModel latency = paper_calibrated_latency();
+  sparsities_ = paper_ladder_sparsities(latency, config.timing_constraint_ms);
+
+  ServerConfig scfg;
+  scfg.battery_capacity_mj = config.battery_capacity_mj;
+  scfg.batch = config.batch;
+  scfg.software_reconfig = config.software_reconfig;
+  scfg.exec_mode =
+      config.software_reconfig ? ExecMode::kPattern : ExecMode::kBlock;
+  const std::vector<double> served_sparsities =
+      config.software_reconfig
+          ? sparsities_
+          : std::vector<double>(paper_serve_ladder().size(), 0.6426);
+  server_ = std::make_unique<Server>(
+      scfg, table, Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
+      latency, spec, served_sparsities);
+
+  if (!config.software_reconfig) {
+    return;  // hardware-only baseline: no engine, no pattern switches
+  }
+
+  // Small resident backbone with real masks; the analytic models carry
+  // the paper-scale numbers, the engine carries the switch semantics.
+  for (int i = 0; i < 2; ++i) {
+    owned_layers_.push_back(std::make_unique<Linear>(16, 16, rng_));
+    layers_.push_back(owned_layers_.back().get());
+  }
+  pruner_ = std::make_unique<ModelPruner>(layers_);
+  BpConfig bp;
+  bp.num_blocks = 4;
+  bp.prune_fraction = 0.25;
+  pruner_->apply_bp(bp);
+  std::vector<PatternSet> sets;
+  for (double s : {0.25, 0.5, 0.75}) {  // denser set at faster level
+    sets.push_back(random_pattern_set(4, s, 2, rng_));
+  }
+  engine_ = std::make_unique<ReconfigEngine>(*pruner_, std::move(sets),
+                                             SwitchCostModel(), spec, 100);
+  server_->attach_engine(engine_.get());
+}
+
+}  // namespace rt3

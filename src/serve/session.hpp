@@ -1,0 +1,70 @@
+// Canonical serve-session setup over the paper's {l6, l4, l3} ladder:
+// bundles a Server with a LIVE ReconfigEngine (real backbone masks over
+// resident Linear layers, one pattern set per level) so the CLI, the
+// traffic bench, and the demo all exercise the same end-to-end path —
+// battery -> governor -> drain -> pattern-set switch -> keep serving.
+//
+// The latency model is calibrated against the paper's Table II anchor
+// (114.59 ms at F-mode, 64.26% sparsity) and per-level sparsities are
+// chosen to just meet the timing constraint at each frequency, exactly
+// like `rt3 simulate`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "pruning/model_pruner.hpp"
+#include "runtime/engine.hpp"
+#include "serve/server.hpp"
+
+namespace rt3 {
+
+/// The serving ladder {l6, l4, l3} (F -> N -> E), paper Table II.
+const std::vector<std::int64_t>& paper_serve_ladder();
+
+/// LatencyModel calibrated against the Table II anchor (114.59 ms at
+/// F-mode, 64.26% sparsity, block execution).
+LatencyModel paper_calibrated_latency();
+
+/// Per-ladder-level sparsities that just meet `timing_constraint_ms` at
+/// each frequency (never below the 64.26% backbone floor).
+std::vector<double> paper_ladder_sparsities(const LatencyModel& latency,
+                                            double timing_constraint_ms);
+
+struct ServeSessionConfig {
+  double battery_capacity_mj = 12'000.0;
+  /// Per-level timing constraint T; also sizes the per-level sparsities.
+  double timing_constraint_ms = 115.0;
+  /// Inference MACs serialize on the single mobile core, so a batch of B
+  /// costs ~B*T; max_batch_size 2 keeps batch latency inside a ~350 ms
+  /// deadline slack while still amortizing the fixed runtime cost.
+  BatchPolicy batch{2, 20.0};
+  /// false = hardware-only baseline: fixed sub-model, no engine, kBlock.
+  bool software_reconfig = true;
+  std::uint64_t seed = 11;
+};
+
+/// Owns the full serving stack: demo backbone layers, pruner, pattern
+/// sets, ReconfigEngine, and the Server wired to all of it.
+class ServeSession {
+ public:
+  explicit ServeSession(const ServeSessionConfig& config);
+
+  Server& server() { return *server_; }
+  /// Only present with software_reconfig (throws on the hw-only baseline).
+  ReconfigEngine& engine();
+  bool has_engine() const { return engine_ != nullptr; }
+  const std::vector<double>& sparsities() const { return sparsities_; }
+
+ private:
+  Rng rng_;
+  std::vector<std::unique_ptr<Linear>> owned_layers_;
+  std::vector<Linear*> layers_;
+  std::unique_ptr<ModelPruner> pruner_;
+  std::unique_ptr<ReconfigEngine> engine_;
+  std::vector<double> sparsities_;
+  std::unique_ptr<Server> server_;
+};
+
+}  // namespace rt3

@@ -1,0 +1,125 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace rt3 {
+namespace {
+
+/// p50/p95/p99 from ONE sorted copy (summary/to_json report all three;
+/// sorting per percentile would triple the work on large sessions).
+struct LatencyTail {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+LatencyTail latency_tail(std::vector<double> xs) {
+  LatencyTail tail;
+  if (xs.empty()) {
+    return tail;
+  }
+  std::sort(xs.begin(), xs.end());
+  const auto at = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= xs.size()) {
+      return xs.back();
+    }
+    return xs[lo] + (rank - static_cast<double>(lo)) * (xs[lo + 1] - xs[lo]);
+  };
+  tail.p50 = at(50.0);
+  tail.p95 = at(95.0);
+  tail.p99 = at(99.0);
+  return tail;
+}
+
+}  // namespace
+
+double ServerStats::throughput_rps() const {
+  if (sim_end_ms <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(completed) / (sim_end_ms / 1000.0);
+}
+
+double ServerStats::miss_rate() const {
+  if (completed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(deadline_misses) / static_cast<double>(completed);
+}
+
+double ServerStats::mean_batch_size() const {
+  if (batches == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::int64_t b : batch_sizes) {
+    total += static_cast<double>(b);
+  }
+  return total / static_cast<double>(batches);
+}
+
+double ServerStats::latency_percentile(double p) const {
+  return percentile(latency_ms, p);
+}
+
+std::string ServerStats::summary() const {
+  const LatencyTail tail = latency_tail(latency_ms);
+  std::ostringstream os;
+  os << "  submitted        : " << submitted << "\n"
+     << "  completed        : " << completed << "\n"
+     << "  dropped          : " << dropped << "\n"
+     << "  batches          : " << batches << " (mean size "
+     << fmt_f(mean_batch_size(), 2) << ")\n"
+     << "  switches         : " << switches << " ("
+     << fmt_f(switch_ms_total, 2) << " ms total)\n"
+     << "  throughput       : " << fmt_f(throughput_rps(), 1) << " req/s\n"
+     << "  latency p50/p95/p99 : " << fmt_f(tail.p50, 1) << " / "
+     << fmt_f(tail.p95, 1) << " / " << fmt_f(tail.p99, 1) << " ms\n"
+     << "  deadline misses  : " << deadline_misses << " ("
+     << fmt_pct(miss_rate()) << ")\n"
+     << "  session length   : " << fmt_f(sim_end_ms / 1000.0, 1)
+     << " s virtual (busy " << fmt_f(busy_ms / 1000.0, 1) << " s)\n"
+     << "  energy used      : " << fmt_f(energy_used_mj, 0) << " mJ\n"
+     << "  runs per level   : ";
+  for (double runs : runs_per_level) {
+    os << fmt_f(runs, 0) << " ";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string ServerStats::to_json() const {
+  const LatencyTail tail = latency_tail(latency_ms);
+  std::ostringstream os;
+  os << "{"
+     << "\"submitted\": " << submitted << ", "
+     << "\"completed\": " << completed << ", "
+     << "\"dropped\": " << dropped << ", "
+     << "\"batches\": " << batches << ", "
+     << "\"mean_batch_size\": " << mean_batch_size() << ", "
+     << "\"switches\": " << switches << ", "
+     << "\"switch_ms_total\": " << switch_ms_total << ", "
+     << "\"throughput_rps\": " << throughput_rps() << ", "
+     << "\"p50_ms\": " << tail.p50 << ", "
+     << "\"p95_ms\": " << tail.p95 << ", "
+     << "\"p99_ms\": " << tail.p99 << ", "
+     << "\"deadline_misses\": " << deadline_misses << ", "
+     << "\"miss_rate\": " << miss_rate() << ", "
+     << "\"sim_end_ms\": " << sim_end_ms << ", "
+     << "\"busy_ms\": " << busy_ms << ", "
+     << "\"energy_used_mj\": " << energy_used_mj << ", "
+     << "\"runs_per_level\": [";
+  for (std::size_t i = 0; i < runs_per_level.size(); ++i) {
+    os << (i ? ", " : "") << runs_per_level[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace rt3

@@ -1,0 +1,51 @@
+// Aggregated statistics for one serve session, built on common/stats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rt3 {
+
+/// Everything the serving loop records about one session.  Raw per-request
+/// latencies are kept so percentiles are exact, not sketched; at this
+/// repo's session sizes (tens of thousands of requests) that is cheap.
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  /// Requests still queued when the battery died (accounted, never silent).
+  std::int64_t dropped = 0;
+  std::int64_t batches = 0;
+  /// Pattern-set switches performed between batches.
+  std::int64_t switches = 0;
+  std::int64_t deadline_misses = 0;
+
+  /// Virtual time when the last batch finished.
+  double sim_end_ms = 0.0;
+  /// Virtual time spent executing batches.
+  double busy_ms = 0.0;
+  /// Virtual time spent inside pattern-set switches.
+  double switch_ms_total = 0.0;
+  double energy_used_mj = 0.0;
+
+  /// Queue-to-completion latency per completed request (ms).
+  std::vector<double> latency_ms;
+  /// Completed requests per governor-level position (fast -> slow).
+  std::vector<double> runs_per_level;
+  std::vector<std::int64_t> batch_sizes;
+
+  /// Completed requests per virtual second of session time.
+  double throughput_rps() const;
+  /// Deadline misses over completed requests (0 when none completed).
+  double miss_rate() const;
+  double mean_batch_size() const;
+  /// p-th latency percentile over completed requests.
+  double latency_percentile(double p) const;
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+  /// One flat JSON object (machine-readable bench output).
+  std::string to_json() const;
+};
+
+}  // namespace rt3

@@ -1,0 +1,76 @@
+#include "serve/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+ThreadPool::ThreadPool(std::int64_t num_threads) {
+  check(num_threads >= 1, "ThreadPool: need at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (std::int64_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  has_work_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    check(!stopping_, "ThreadPool: submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  has_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  if (first_error_ != nullptr) {
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      has_work_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_ == nullptr) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace rt3

@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the serving subsystem for request
+// producers (traffic front-ends) and any parallel bookkeeping.  Tasks are
+// opaque closures; the pool makes no ordering guarantee across workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rt3 {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::int64_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; throws CheckError after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the task queue is empty AND no worker is mid-task.
+  /// A task that threw does not kill its worker: the first captured
+  /// exception is rethrown here instead.
+  void wait_idle();
+
+  std::int64_t num_threads() const {
+    return static_cast<std::int64_t>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable has_work_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::int64_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace rt3

@@ -1,0 +1,123 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace rt3 {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+/// Off-period rate as a fraction of the base rate in kBurst.
+constexpr double kBurstOffFraction = 0.1;
+
+/// Instantaneous rate multiplier at virtual time t, normalized so the
+/// session-mean multiplier is 1 (rate_rps stays the cross-scenario mean).
+double rate_factor(const TrafficConfig& c, double t_ms) {
+  switch (c.scenario) {
+    case TrafficScenario::kSteady:
+      return 1.0;
+    case TrafficScenario::kBurst: {
+      const double period = c.burst_on_ms + c.burst_off_ms;
+      const double mean = (c.burst_on_ms * c.burst_factor +
+                           c.burst_off_ms * kBurstOffFraction) /
+                          period;
+      const double phase = std::fmod(t_ms, period);
+      const double factor =
+          phase < c.burst_on_ms ? c.burst_factor : kBurstOffFraction;
+      return factor / mean;
+    }
+    case TrafficScenario::kDiurnal: {
+      // Raised cosine: trough at t=0, peak mid-session, trough at the end.
+      const double phase = t_ms / c.duration_ms;
+      const double factor =
+          c.diurnal_min_factor +
+          (1.0 - c.diurnal_min_factor) * 0.5 *
+              (1.0 - std::cos(2.0 * kPi * phase));
+      const double mean = (1.0 + c.diurnal_min_factor) / 2.0;
+      return factor / mean;
+    }
+  }
+  return 1.0;
+}
+
+double peak_factor(const TrafficConfig& c) {
+  double peak = 1.0;
+  // Sample the normalized factor densely; the shapes are smooth or
+  // two-valued, so 1000 points bound the true peak tightly.
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const double t = c.duration_ms * static_cast<double>(i) / 1000.0;
+    peak = std::max(peak, rate_factor(c, t));
+  }
+  return peak;
+}
+
+}  // namespace
+
+TrafficScenario traffic_scenario_from_name(const std::string& name) {
+  if (name == "steady") {
+    return TrafficScenario::kSteady;
+  }
+  if (name == "burst") {
+    return TrafficScenario::kBurst;
+  }
+  if (name == "diurnal") {
+    return TrafficScenario::kDiurnal;
+  }
+  throw CheckError("unknown traffic scenario: " + name);
+}
+
+std::string traffic_scenario_name(TrafficScenario scenario) {
+  switch (scenario) {
+    case TrafficScenario::kSteady:
+      return "steady";
+    case TrafficScenario::kBurst:
+      return "burst";
+    case TrafficScenario::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+std::vector<Request> generate_traffic(const TrafficConfig& config) {
+  check(config.duration_ms > 0.0, "generate_traffic: duration must be > 0");
+  check(config.rate_rps > 0.0, "generate_traffic: rate must be > 0");
+  check(config.deadline_slack_ms > 0.0,
+        "generate_traffic: deadline slack must be > 0");
+  check(config.burst_on_ms > 0.0 && config.burst_off_ms > 0.0,
+        "generate_traffic: burst periods must be > 0");
+  check(config.burst_factor >= 1.0, "generate_traffic: burst_factor < 1");
+  check(config.diurnal_min_factor > 0.0 && config.diurnal_min_factor <= 1.0,
+        "generate_traffic: diurnal_min_factor out of (0, 1]");
+
+  Rng rng(config.seed);
+  const double base_per_ms = config.rate_rps / 1000.0;
+  const double peak_per_ms = base_per_ms * peak_factor(config);
+
+  // Thinning (Lewis & Shedler): homogeneous Poisson at the peak rate,
+  // accept each candidate with probability rate(t) / peak.
+  std::vector<Request> schedule;
+  schedule.reserve(
+      static_cast<std::size_t>(config.rate_rps * config.duration_ms / 1000.0));
+  double t = 0.0;
+  std::int64_t next_id = 0;
+  for (;;) {
+    t += -std::log(1.0 - rng.uniform()) / peak_per_ms;
+    if (t >= config.duration_ms) {
+      break;
+    }
+    const double accept = base_per_ms * rate_factor(config, t) / peak_per_ms;
+    if (rng.uniform() < accept) {
+      Request r;
+      r.id = next_id++;
+      r.arrival_ms = t;
+      r.deadline_ms = t + config.deadline_slack_ms;
+      schedule.push_back(r);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace rt3

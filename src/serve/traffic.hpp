@@ -1,0 +1,51 @@
+// Open-loop traffic generation for serve sessions.
+//
+// Three scenarios, all Poisson at heart, all bit-reproducible from a seed
+// via rt3::Rng:
+//   kSteady  — homogeneous Poisson arrivals at `rate_rps`;
+//   kBurst   — on/off (interrupted Poisson): bursts at burst_factor x the
+//              base rate separated by near-silent gaps;
+//   kDiurnal — raised-cosine rate ramp between diurnal_min_factor and 1x
+//              peak over the session (a day compressed into the session),
+//              sampled by thinning.
+// Every request's deadline is arrival + deadline_slack_ms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace rt3 {
+
+enum class TrafficScenario : std::uint8_t { kSteady, kBurst, kDiurnal };
+
+/// "steady" / "burst" / "diurnal" (throws CheckError otherwise).
+TrafficScenario traffic_scenario_from_name(const std::string& name);
+std::string traffic_scenario_name(TrafficScenario scenario);
+
+struct TrafficConfig {
+  TrafficScenario scenario = TrafficScenario::kSteady;
+  /// Session length of the arrival process (virtual ms).
+  double duration_ms = 60'000.0;
+  /// Mean request rate over the session, requests per second.
+  double rate_rps = 20.0;
+  /// Per-request latency budget: deadline = arrival + slack.
+  double deadline_slack_ms = 250.0;
+  /// kBurst: on/off period lengths and the on-period rate multiplier
+  /// (off periods run at 1/10 of the base rate, not zero, so the tail of
+  /// the queue is still exercised between bursts).
+  double burst_on_ms = 2'000.0;
+  double burst_off_ms = 3'000.0;
+  double burst_factor = 4.0;
+  /// kDiurnal: trough rate as a fraction of the peak.
+  double diurnal_min_factor = 0.2;
+  std::uint64_t seed = 7;
+};
+
+/// Generates the full arrival schedule, sorted by arrival time, ids
+/// 0..n-1 in arrival order.
+std::vector<Request> generate_traffic(const TrafficConfig& config);
+
+}  // namespace rt3

@@ -6,6 +6,21 @@
 //   rt3 info FILE                                     inspect a package
 //   rt3 simulate [--capacity MJ] [--t MS]             battery discharge
 //       simulation across the paper's {l6,l4,l3} ladder
+//   rt3 serve [--scenario NAME] ...                   battery-aware serve
+//       session: open-loop traffic through the MPMC queue, dynamic
+//       batching, pattern-set switches between batches as the governor
+//       steps the ladder down.  Flags:
+//         --scenario NAME    steady | burst | diurnal        (burst)
+//         --capacity MJ      battery budget                  (12000)
+//         --t MS             timing constraint / per-level
+//                            sparsity target                 (115)
+//         --rate RPS         mean request rate               (3)
+//         --duration MS      arrival-process length          (60000)
+//         --slack MS         per-request deadline slack      (350)
+//         --batch N          max batch size                  (2)
+//         --wait MS          max batch wait                  (20)
+//         --producers N      concurrent producer threads     (2)
+//         --seed S           traffic seed                    (7)
 //   rt3 levels                                        print the V/F ladder
 #include <cstring>
 #include <iostream>
@@ -15,6 +30,9 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "runtime/engine.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/traffic.hpp"
 
 namespace {
 
@@ -128,22 +146,15 @@ int cmd_simulate(const std::vector<std::string>& args) {
   const VfTable table = VfTable::odroid_xu3_a7();
   const PowerModel power;
   const ModelSpec spec = ModelSpec::paper_transformer();
-  LatencyModel latency;
-  latency.calibrate(spec, 0.6426, ExecMode::kBlock, 1400.0, 114.59);
-  std::vector<double> sparsities;
-  for (std::int64_t li : {5, 3, 2}) {
-    sparsities.push_back(std::max(
-        0.6426, latency.sparsity_for_latency(spec, ExecMode::kPattern,
-                                             table.level(li).freq_mhz,
-                                             t_ms)));
-  }
+  const LatencyModel latency = paper_calibrated_latency();
+  const std::vector<double> sparsities = paper_ladder_sparsities(latency, t_ms);
   DischargeConfig cfg;
   cfg.battery_capacity_mj = capacity;
   cfg.timing_constraint_ms = t_ms;
   cfg.software_reconfig = true;
   const DischargeStats stats = simulate_discharge(
-      cfg, table, Governor::equal_tranches({5, 3, 2}), power, latency, spec,
-      sparsities, ExecMode::kPattern);
+      cfg, table, Governor::equal_tranches(paper_serve_ladder()), power,
+      latency, spec, sparsities, ExecMode::kPattern);
   std::cout << "battery " << capacity << " mJ, T = " << t_ms << " ms\n"
             << "  runs            : " << stats.total_runs << "\n"
             << "  deadline misses : " << stats.deadline_misses << "\n"
@@ -153,12 +164,60 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  ServeSessionConfig scfg;
+  scfg.battery_capacity_mj = arg_double(args, "--capacity", 12'000.0);
+  scfg.timing_constraint_ms = arg_double(args, "--t", 115.0);
+  scfg.batch.max_batch_size =
+      static_cast<std::int64_t>(arg_double(args, "--batch", 2));
+  scfg.batch.max_wait_ms = arg_double(args, "--wait", 20.0);
+
+  TrafficConfig tcfg;
+  tcfg.scenario =
+      traffic_scenario_from_name(arg_string(args, "--scenario", "burst"));
+  tcfg.rate_rps = arg_double(args, "--rate", 3.0);
+  tcfg.duration_ms = arg_double(args, "--duration", 60'000.0);
+  tcfg.deadline_slack_ms = arg_double(args, "--slack", 350.0);
+  tcfg.seed = static_cast<std::uint64_t>(arg_double(args, "--seed", 7));
+  const auto producers =
+      static_cast<std::int64_t>(arg_double(args, "--producers", 2));
+
+  const std::vector<Request> schedule = generate_traffic(tcfg);
+  ServeSession session(scfg);
+  std::cout << "serving " << schedule.size() << " requests ("
+            << traffic_scenario_name(tcfg.scenario) << ", "
+            << fmt_f(tcfg.rate_rps, 1) << " req/s mean, "
+            << fmt_f(tcfg.duration_ms / 1000.0, 0) << " s) over a "
+            << fmt_f(scfg.battery_capacity_mj, 0) << " mJ battery, T = "
+            << fmt_f(scfg.timing_constraint_ms, 0) << " ms, batch <= "
+            << scfg.batch.max_batch_size << ", wait <= "
+            << fmt_f(scfg.batch.max_wait_ms, 0) << " ms, " << producers
+            << " producer threads\n\n";
+  const ServerStats stats =
+      serve_concurrent(session.server(), schedule, producers);
+  std::cout << stats.summary();
+  std::cout << "  final engine lvl : " << session.engine().current_level()
+            << " (0 = fastest)\n";
+  if (stats.completed == stats.submitted) {
+    std::cout << "\nall " << stats.submitted << " requests served across "
+              << stats.switches << " pattern-set switches — none lost.\n";
+  } else {
+    std::cout << "\nbattery died mid-session: " << stats.dropped
+              << " requests dropped (accounted above).\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cout <<
       "usage: rt3 <command> [options]\n"
       "  search   [--t MS] [--episodes N] [--out FILE]  run the AutoML search\n"
       "  info     FILE                                  inspect a package\n"
       "  simulate [--capacity MJ] [--t MS]              discharge simulation\n"
+      "  serve    [--scenario steady|burst|diurnal] [--capacity MJ] [--t MS]\n"
+      "           [--rate RPS] [--duration MS] [--slack MS] [--batch N]\n"
+      "           [--wait MS] [--producers N] [--seed S]\n"
+      "                                                 battery-aware serving\n"
       "  levels                                         print the V/F ladder\n";
   return 2;
 }
@@ -189,6 +248,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "simulate") {
       return cmd_simulate(args);
+    }
+    if (cmd == "serve") {
+      return cmd_serve(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
