@@ -6,17 +6,28 @@
 //      swaps to a sparser sub-model when the governor steps down, so the
 //      deadline holds across the whole discharge and nothing is lost.
 // This is the serving-system version of the battery_sim example.
+//
+// Usage: server_demo [analytic|measured]
+//   analytic (default) models batch latency with the calibrated
+//   LatencyModel; measured actually runs the pruned layers as kernels and
+//   lets wall time drive the virtual clock.
 #include <iostream>
+#include <string>
 
 #include "common/table.hpp"
+#include "exec/backend.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "serve/traffic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rt3;
+  const ExecBackendKind backend =
+      exec_backend_from_name(argc > 1 ? argv[1] : "analytic");
   std::cout << "RT3 serving demo: bursty traffic along a draining battery\n"
-            << "=========================================================\n\n";
+            << "========================================================="
+            << "\nexecution backend: " << exec_backend_name(backend)
+            << "\n\n";
 
   TrafficConfig tcfg;
   tcfg.scenario = TrafficScenario::kBurst;
@@ -31,10 +42,12 @@ int main() {
 
   ServeSessionConfig hw_only;
   hw_only.software_reconfig = false;
+  hw_only.backend = backend;
   ServeSession a(hw_only);
   const ServerStats sa = a.server().serve(schedule);
 
   ServeSessionConfig rt3_cfg;  // software_reconfig = true
+  rt3_cfg.backend = backend;
   ServeSession b(rt3_cfg);
   const ServerStats sb = serve_concurrent(b.server(), schedule, 2);
 

@@ -1,0 +1,19 @@
+// Host wall-clock helpers for the handful of places that time real work
+// (kernel execution, plan swaps, mask re-composition).  Virtual serving
+// time never comes from here — only measured host-side costs do.
+#pragma once
+
+#include <chrono>
+
+namespace rt3 {
+
+inline std::chrono::steady_clock::time_point wall_now() {
+  return std::chrono::steady_clock::now();
+}
+
+/// Milliseconds elapsed since `t0` on the steady clock.
+inline double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(wall_now() - t0).count();
+}
+
+}  // namespace rt3

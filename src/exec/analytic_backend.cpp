@@ -1,0 +1,47 @@
+#include "exec/analytic_backend.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+AnalyticBackend::AnalyticBackend(LatencyModel latency, ModelSpec spec,
+                                 ExecMode mode, std::vector<double> freqs_mhz,
+                                 std::vector<double> sparsities)
+    : latency_(latency),
+      spec_(std::move(spec)),
+      mode_(mode),
+      freqs_mhz_(std::move(freqs_mhz)),
+      sparsities_(std::move(sparsities)) {
+  check(!freqs_mhz_.empty(), "AnalyticBackend: no levels");
+  check(freqs_mhz_.size() == sparsities_.size(),
+        "AnalyticBackend: one sparsity per level required");
+}
+
+double AnalyticBackend::batch_latency_ms(std::int64_t batch_size,
+                                         std::int64_t level_pos) const {
+  check(batch_size >= 1, "AnalyticBackend: empty batch");
+  check(level_pos >= 0 && level_pos < num_levels(),
+        "AnalyticBackend: level position out of range");
+  const auto pos = static_cast<std::size_t>(level_pos);
+  const double cycles_one =
+      latency_.cycles(spec_, sparsities_[pos], mode_);
+  const double fixed = latency_.config().fixed_cycles;
+  const double batch_cycles =
+      fixed + (cycles_one - fixed) * static_cast<double>(batch_size);
+  return batch_cycles / (freqs_mhz_[pos] * 1000.0);
+}
+
+BatchExecution AnalyticBackend::run_batch(std::int64_t batch_size,
+                                          std::int64_t level_pos) {
+  return {batch_latency_ms(batch_size, level_pos), 0.0};
+}
+
+double AnalyticBackend::activate_level(std::int64_t level_pos) {
+  check(level_pos >= 0 && level_pos < num_levels(),
+        "AnalyticBackend: level position out of range");
+  return 0.0;  // nothing to swap: the model is level-agnostic
+}
+
+}  // namespace rt3

@@ -1,0 +1,30 @@
+#include "exec/backend.hpp"
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+ExecutionBackend::~ExecutionBackend() = default;
+
+const char* exec_backend_name(ExecBackendKind kind) {
+  switch (kind) {
+    case ExecBackendKind::kAnalytic:
+      return "analytic";
+    case ExecBackendKind::kMeasured:
+      return "measured";
+  }
+  throw CheckError("exec_backend_name: unknown kind");
+}
+
+ExecBackendKind exec_backend_from_name(const std::string& name) {
+  if (name == "analytic") {
+    return ExecBackendKind::kAnalytic;
+  }
+  if (name == "measured") {
+    return ExecBackendKind::kMeasured;
+  }
+  throw CheckError("exec_backend_from_name: unknown backend '" + name +
+                   "' (expected analytic|measured)");
+}
+
+}  // namespace rt3

@@ -1,0 +1,68 @@
+#include "exec/calibrator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+Calibrator::Calibrator(CalibratorConfig config) : config_(std::move(config)) {
+  check(!config_.batch_sizes.empty(), "Calibrator: no batch sizes");
+  check(config_.repeats >= 1, "Calibrator: need at least one repeat");
+  check(config_.host_freq_mhz > 0.0, "Calibrator: bad host frequency");
+}
+
+CalibrationResult Calibrator::run(const MeasuredBackendConfig& base,
+                                  const std::vector<Linear*>& layers,
+                                  const std::vector<Tensor>& backbone_masks,
+                                  const std::vector<PatternSet>& sets) const {
+  CalibrationResult result;
+  result.spec =
+      spec_from_layers("calibration", layers, base.cols_per_request);
+  const std::int64_t max_batch =
+      *std::max_element(config_.batch_sizes.begin(),
+                        config_.batch_sizes.end());
+
+  for (ExecMode mode : config_.modes) {
+    if (mode == ExecMode::kPattern && sets.empty()) {
+      continue;  // nothing to compile pattern plans from
+    }
+    MeasuredBackendConfig cfg = base;
+    cfg.mode = mode;
+    cfg.max_batch = std::max(cfg.max_batch, max_batch);
+    cfg.latency_scale = 1.0;
+    const std::vector<PatternSet> level_sets =
+        mode == ExecMode::kPattern
+            ? std::vector<PatternSet>{sets.front()}
+            : std::vector<PatternSet>{};
+    MeasuredBackend backend(cfg, layers, backbone_masks, level_sets,
+                            {1000.0});
+    backend.activate_level(0);
+    const double sparsity = backend.plans().level_sparsity(0);
+    backend.run_batch(1, 0);  // warm caches and the worker pool
+    for (std::int64_t batch : config_.batch_sizes) {
+      std::vector<double> walls;
+      walls.reserve(static_cast<std::size_t>(config_.repeats));
+      for (std::int64_t rep = 0; rep < config_.repeats; ++rep) {
+        walls.push_back(backend.run_batch(batch, 0).kernel_wall_ms);
+      }
+      LatencyObservation obs;
+      obs.mode = mode;
+      obs.sparsity = sparsity;
+      obs.batch_size = batch;
+      // Min, not median: CPU contention only ever ADDS time, so the
+      // fastest repeat is the least-noisy estimate of true kernel cost.
+      obs.wall_ms =
+          std::max(*std::min_element(walls.begin(), walls.end()), 1e-6);
+      result.observations.push_back(obs);
+    }
+  }
+
+  result.fitted = fit_latency_config(result.spec, result.observations,
+                                     config_.host_freq_mhz);
+  result.mean_abs_rel_error = calibration_error(
+      result.spec, result.observations, result.fitted, config_.host_freq_mhz);
+  return result;
+}
+
+}  // namespace rt3

@@ -1,0 +1,58 @@
+// Calibrator: drives the measured kernels across execution modes and
+// batch sizes, then fits the analytic LatencyModelConfig to the observed
+// wall times (src/perf/calibration.hpp does the numeric fit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/measured_backend.hpp"
+#include "nn/linear.hpp"
+#include "perf/calibration.hpp"
+#include "sparse/pattern.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+
+struct CalibratorConfig {
+  /// Batch sizes sampled per mode (dense needs >= 2 distinct sizes).
+  std::vector<std::int64_t> batch_sizes = {1, 2, 4, 8};
+  /// Median-of-`repeats` wall time per (mode, batch) point.
+  std::int64_t repeats = 3;
+  /// Frequency at which host wall time is converted to cycles for the
+  /// fit; any positive value works, it cancels out of latency ratios.
+  double host_freq_mhz = 2000.0;
+  /// Modes to measure; kPattern is skipped when no pattern set is given.
+  std::vector<ExecMode> modes = {ExecMode::kDense, ExecMode::kBlock,
+                                 ExecMode::kPattern};
+};
+
+struct CalibrationResult {
+  std::vector<LatencyObservation> observations;
+  LatencyModelConfig fitted;
+  /// Mean |measured - predicted| / measured after the fit.
+  double mean_abs_rel_error = 0.0;
+  /// The spec the observations were MAC-accounted against.
+  ModelSpec spec;
+};
+
+class Calibrator {
+ public:
+  explicit Calibrator(CalibratorConfig config = {});
+
+  /// Measures `layers` under each configured mode's kernels (one
+  /// single-level MeasuredBackend per mode, pattern plans from `sets[0]`)
+  /// and fits a LatencyModelConfig.  `base` carries kernel sizing
+  /// (threads, cols_per_request, ...); its mode/scaling are ignored.
+  CalibrationResult run(const MeasuredBackendConfig& base,
+                        const std::vector<Linear*>& layers,
+                        const std::vector<Tensor>& backbone_masks,
+                        const std::vector<PatternSet>& sets) const;
+
+  const CalibratorConfig& config() const { return config_; }
+
+ private:
+  CalibratorConfig config_;
+};
+
+}  // namespace rt3

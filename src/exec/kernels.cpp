@@ -1,0 +1,184 @@
+#include "exec/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+namespace {
+
+/// Splits [0, total) into per-worker row ranges (chunk boundaries rounded
+/// to `align` rows) and runs `body(begin, end)` on the pool; serial when
+/// the pool is absent or the matrix is too small to amortize dispatch.
+void parallel_rows(ThreadPool* pool, std::int64_t total, std::int64_t grain,
+                   std::int64_t align,
+                   const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (pool == nullptr || pool->num_threads() <= 1 || total < 2 * grain) {
+    body(0, total);
+    return;
+  }
+  const std::int64_t workers = pool->num_threads();
+  std::int64_t chunk = (total + workers - 1) / workers;
+  chunk = std::max(chunk, grain);
+  chunk = ((chunk + align - 1) / align) * align;
+  for (std::int64_t begin = 0; begin < total; begin += chunk) {
+    const std::int64_t end = std::min(begin + chunk, total);
+    pool->submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->wait_idle();
+}
+
+void check_matmul_shapes(std::int64_t w_cols, const Tensor& x) {
+  check(x.dim() == 2 && x.size(0) == w_cols,
+        "exec kernel: activation shape mismatch");
+}
+
+}  // namespace
+
+Tensor naive_dense_matmul(const Tensor& w, const Tensor& x) {
+  check(w.dim() == 2, "naive_dense_matmul: need a 2-D weight");
+  check_matmul_shapes(w.size(1), x);
+  const std::int64_t rows = w.size(0);
+  const std::int64_t cols = w.size(1);
+  const std::int64_t n = x.size(1);
+  Tensor out({rows, n});
+  const float* wd = w.data();
+  const float* xd = x.data();
+  float* od = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (std::int64_t k = 0; k < cols; ++k) {
+        acc = std::fma(wd[r * cols + k], xd[k * n + j], acc);
+      }
+      od[r * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor dense_gemm(const Tensor& w, const Tensor& x, ThreadPool* pool,
+                  const KernelOptions& options) {
+  check(w.dim() == 2, "dense_gemm: need a 2-D weight");
+  check_matmul_shapes(w.size(1), x);
+  check(options.k_tile >= 1 && options.row_grain >= 1,
+        "dense_gemm: bad kernel options");
+  const std::int64_t rows = w.size(0);
+  const std::int64_t cols = w.size(1);
+  const std::int64_t n = x.size(1);
+  Tensor out({rows, n});
+  const float* wd = w.data();
+  const float* xd = x.data();
+  float* od = out.data();
+  const std::int64_t kt = options.k_tile;
+  parallel_rows(pool, rows, options.row_grain, 1,
+                [&](std::int64_t r0, std::int64_t r1) {
+    // k-tiled ikj order: the kt rows of X stay hot across the row sweep;
+    // each out element still sees k ascending, so results match the naive
+    // reference bitwise.
+    for (std::int64_t kk = 0; kk < cols; kk += kt) {
+      const std::int64_t kend = std::min(kk + kt, cols);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float* wrow = wd + r * cols;
+        float* orow = od + r * n;
+        for (std::int64_t k = kk; k < kend; ++k) {
+          const float v = wrow[k];
+          const float* xrow = xd + k * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            orow[j] = std::fma(v, xrow[j], orow[j]);
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor block_gemm(const BlockPrunedMatrix& w, const Tensor& x,
+                  ThreadPool* pool, const KernelOptions& options) {
+  check_matmul_shapes(w.cols(), x);
+  const std::int64_t rows = w.rows();
+  const std::int64_t n = x.size(1);
+  const std::int64_t block_rows = w.block_rows();
+  Tensor out({rows, n});
+  const float* xd = x.data();
+  float* od = out.data();
+  parallel_rows(pool, rows, options.row_grain, 1,
+                [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t b = r / block_rows;
+      const std::int64_t lr = r - b * block_rows;
+      const auto& kept = w.kept_cols(b);
+      const auto& vals = w.block_values(b);
+      const std::int64_t k = static_cast<std::int64_t>(kept.size());
+      float* orow = od + r * n;
+      for (std::int64_t ci = 0; ci < k; ++ci) {
+        const float v = vals[static_cast<std::size_t>(lr * k + ci)];
+        const float* xrow = xd + kept[static_cast<std::size_t>(ci)] * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          orow[j] = std::fma(v, xrow[j], orow[j]);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor pattern_gemm(const PatternPlan& plan, const Tensor& x,
+                    ThreadPool* pool, const KernelOptions& options) {
+  check_matmul_shapes(plan.cols, x);
+  const std::int64_t n = x.size(1);
+  const std::int64_t p = plan.psize;
+  Tensor out({plan.rows, n});
+  const float* xd = x.data();
+  float* od = out.data();
+  // Partition aligned to tile rows: each worker owns whole tile-rows.
+  parallel_rows(pool, plan.rows, options.row_grain, p,
+                [&](std::int64_t row0, std::int64_t row1) {
+    const std::int64_t tr0 = row0 / p;
+    const std::int64_t tr1 = (row1 + p - 1) / p;
+    for (std::int64_t tr = tr0; tr < tr1; ++tr) {
+      const std::int64_t rmax = std::min(p, plan.rows - tr * p);
+      for (std::int64_t r = 0; r < rmax; ++r) {
+        float* orow = od + (tr * p + r) * n;
+        // Tiles ascending => contributions per out element arrive in
+        // ascending global-column order, matching the naive reference.
+        for (std::int64_t tc = 0; tc < plan.tiles_c; ++tc) {
+          const PatternTile& tile =
+              plan.tiles[static_cast<std::size_t>(tr * plan.tiles_c + tc)];
+          const std::int32_t* row_ptr = plan.tile_row_ptr(tile);
+          const std::int32_t* tcols = plan.tile_cols(tile);
+          const float* vals = plan.values.data() + tile.value_offset;
+          const float* xbase = xd + tc * p * n;
+          for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            const float v = vals[i];
+            const float* xrow = xbase + tcols[i] * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              orow[j] = std::fma(v, xrow[j], orow[j]);
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor plan_gemm(const LayerPlan& plan, const Tensor& x, ThreadPool* pool,
+                 const KernelOptions& options) {
+  switch (plan.mode) {
+    case ExecMode::kDense:
+      return dense_gemm(plan.dense_weight, x, pool, options);
+    case ExecMode::kBlock:
+      return block_gemm(*plan.block, x, pool, options);
+    case ExecMode::kPattern:
+      return pattern_gemm(*plan.pattern, x, pool, options);
+    case ExecMode::kIrregular:
+      break;
+  }
+  throw CheckError("plan_gemm: unsupported mode");
+}
+
+}  // namespace rt3

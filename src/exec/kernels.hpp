@@ -1,0 +1,55 @@
+// Multi-threaded, cache-tiled CPU kernels for the measured backend.
+//
+// All kernels compute out[R,N] = W[R,C] x X[C,N] and accumulate every
+// output element in ascending-k order with an explicit std::fma per step.
+// The naive reference below uses the exact same per-element operation
+// sequence, so kernel outputs are BITWISE equal to the reference
+// regardless of tiling, thread count, or the compiler's FP-contraction
+// choice — sparse kernels only skip terms whose stored weight is zero,
+// which under fma contributes exactly nothing for finite activations.
+//
+// Parallelism partitions output rows across workers (each element is
+// written by exactly one thread), so results are also independent of the
+// thread count.  Cache tiling blocks the k-dimension so the active slice
+// of X stays resident while W rows stream.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/plan.hpp"
+#include "serve/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+
+struct KernelOptions {
+  /// k-tile (rows of X kept hot) for the dense kernel.
+  std::int64_t k_tile = 64;
+  /// Minimum output rows per parallel task; below this the kernel runs
+  /// serially on the calling thread.
+  std::int64_t row_grain = 16;
+};
+
+/// Textbook triple loop (r, j, then k ascending), fma-accumulated: the
+/// correctness reference every kernel must match bitwise.
+Tensor naive_dense_matmul(const Tensor& w, const Tensor& x);
+
+/// Dense GEMM, k-tiled, rows parallelized over `pool` (nullptr = serial).
+Tensor dense_gemm(const Tensor& w, const Tensor& x, ThreadPool* pool,
+                  const KernelOptions& options);
+
+/// Kept-column GEMM over a block-pruned matrix: dense inner loops over
+/// each block's kept columns (the paper's hardware-friendly layout).
+Tensor block_gemm(const BlockPrunedMatrix& w, const Tensor& x,
+                  ThreadPool* pool, const KernelOptions& options);
+
+/// Pattern-masked GEMM driven by a precompiled PatternPlan: per-tile CSR
+/// kept-index lists, no per-cell mask tests at execution time.
+Tensor pattern_gemm(const PatternPlan& plan, const Tensor& x,
+                    ThreadPool* pool, const KernelOptions& options);
+
+/// Dispatches on the plan's ExecMode.
+Tensor plan_gemm(const LayerPlan& plan, const Tensor& x, ThreadPool* pool,
+                 const KernelOptions& options);
+
+}  // namespace rt3

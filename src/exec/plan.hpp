@@ -1,0 +1,140 @@
+// Precompiled execution plans for the measured backend.
+//
+// A KernelPlan fixes, ahead of time, everything a kernel needs to execute
+// one weight matrix in one ExecMode: the dense payload (kDense), the
+// kept-column block layout (kBlock), or the pattern-tiled structure
+// (kPattern) in which each Pattern's kept-index list is compiled once into
+// a per-row CSR and shared by every tile assigned that pattern.  A
+// PlanCache pre-builds one plan per (layer, V/F level) at construction, so
+// activating a level at a governor switch is a pointer swap — the runtime
+// analogue of the paper's ms-scale pattern-set switch, with the expensive
+// compilation paid before serving starts.
+//
+// Edge tiles of matrices whose dimensions are not multiples of psize get a
+// private clipped CSR (kept cells outside the matrix are dropped), so
+// plans handle arbitrary layer shapes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "perf/latency_model.hpp"
+#include "sparse/block_format.hpp"
+#include "sparse/pattern.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rt3 {
+
+/// One Pattern's kept cells as a CSR over tile rows: row r's kept columns
+/// are cols[row_ptr[r] .. row_ptr[r+1]), ascending.  Values stored against
+/// this structure are laid out in the same traversal order.
+struct CompiledPattern {
+  std::int64_t psize = 0;
+  std::vector<std::int32_t> row_ptr;  // psize + 1 entries
+  std::vector<std::int32_t> cols;
+
+  static CompiledPattern compile(const Pattern& pattern);
+};
+
+/// One psize x psize tile of a pattern plan.  Interior tiles reference the
+/// shared CompiledPattern by id; clipped edge tiles carry their own CSR.
+struct PatternTile {
+  /// Index into PatternPlan::compiled, or -1 for a clipped edge tile.
+  std::int32_t pattern_id = -1;
+  /// Offset of this tile's first value in PatternPlan::values.
+  std::int64_t value_offset = 0;
+  /// Private CSR for clipped tiles (empty for interior tiles).
+  std::vector<std::int32_t> row_ptr;
+  std::vector<std::int32_t> cols;
+};
+
+/// Pattern-tiled execution structure for one weight matrix: per-tile
+/// pattern assignment (paper's retained-L2 rule over the backbone-masked
+/// weights), shared compiled kept-index lists, tile-major values.
+struct PatternPlan {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t psize = 0;
+  std::int64_t tiles_r = 0;
+  std::int64_t tiles_c = 0;
+  std::vector<CompiledPattern> compiled;  // one per set pattern
+  std::vector<PatternTile> tiles;         // row-major over the tile grid
+  std::vector<float> values;
+
+  /// Builds the plan from an (already backbone-masked) weight matrix.
+  /// Dimensions need NOT be multiples of psize.
+  static PatternPlan build(const Tensor& masked_weight, const PatternSet& set);
+
+  /// CSR of one tile (shared pattern or private clipped structure).
+  const std::int32_t* tile_row_ptr(const PatternTile& tile) const;
+  const std::int32_t* tile_cols(const PatternTile& tile) const;
+
+  /// The dense matrix this plan computes with (masked weight under the
+  /// per-tile pattern assignment) — the kernel's ground truth in tests.
+  Tensor to_dense() const;
+
+  double sparsity() const;
+};
+
+/// Everything needed to execute one layer in one ExecMode.
+struct LayerPlan {
+  ExecMode mode = ExecMode::kDense;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  Tensor dense_weight;                     // kDense payload
+  std::optional<BlockPrunedMatrix> block;  // kBlock payload
+  std::optional<PatternPlan> pattern;      // kPattern payload
+
+  /// The dense matrix the kernel multiplies by (for reference checks).
+  Tensor dense_equivalent() const;
+  double sparsity() const;
+};
+
+/// Pre-built plans for every (layer, V/F level); swapping the active level
+/// is a pointer reassignment whose wall time is returned to the caller.
+class PlanCache {
+ public:
+  /// `backbone_masks` may be empty (dense backbone) or hold one
+  /// weight-shaped 0/1 mask per layer.  `sets` holds one PatternSet per
+  /// level and is required for kPattern; for other modes it may be empty
+  /// and `num_levels` sizes the (identical) per-level plans.
+  /// `bp_blocks` is the row-block count for kBlock plans; layers whose row
+  /// count is not divisible fall back to a single block.
+  PlanCache(ExecMode mode, const std::vector<Linear*>& layers,
+            const std::vector<Tensor>& backbone_masks,
+            const std::vector<PatternSet>& sets, std::int64_t num_levels,
+            std::int64_t bp_blocks);
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(plans_.empty() ? 0 : plans_[0].size());
+  }
+  std::int64_t num_levels() const {
+    return static_cast<std::int64_t>(plans_.size());
+  }
+  ExecMode mode() const { return mode_; }
+
+  /// Activates a level's plan set; returns the swap's host wall ms
+  /// (pointer reassignment — microseconds).  No-op if already active.
+  double swap_to(std::int64_t level);
+
+  std::int64_t active_level() const { return active_level_; }
+  const LayerPlan& active_plan(std::int64_t layer) const;
+  const LayerPlan& plan(std::int64_t layer, std::int64_t level) const;
+
+  /// Host wall ms spent pre-building every plan at construction.
+  double build_wall_ms() const { return build_wall_ms_; }
+
+  /// Weight-sparsity of a level's plans (weighted across layers).
+  double level_sparsity(std::int64_t level) const;
+
+ private:
+  ExecMode mode_;
+  std::vector<std::vector<LayerPlan>> plans_;  // [level][layer]
+  std::vector<const LayerPlan*> active_;
+  std::int64_t active_level_ = -1;
+  double build_wall_ms_ = 0.0;
+};
+
+}  // namespace rt3

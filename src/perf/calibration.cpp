@@ -1,0 +1,136 @@
+#include "perf/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+namespace {
+
+/// Batch cycles under a config: fixed once, per-item MAC work B times.
+double predicted_batch_cycles(const ModelSpec& spec,
+                              const LatencyObservation& obs,
+                              const LatencyModelConfig& config) {
+  const double per_item = spec.dense_macs() * (1.0 - obs.sparsity) *
+                          config.mode_overhead(obs.mode) /
+                          config.macs_per_cycle;
+  return config.fixed_cycles +
+         static_cast<double>(obs.batch_size) * per_item;
+}
+
+}  // namespace
+
+ModelSpec spec_from_layers(const std::string& name,
+                           const std::vector<Linear*>& layers,
+                           std::int64_t tokens_per_inference) {
+  check(!layers.empty(), "spec_from_layers: no layers");
+  check(tokens_per_inference >= 1, "spec_from_layers: bad token count");
+  ModelSpec spec;
+  spec.name = name;
+  spec.tokens_per_inference = tokens_per_inference;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    LayerSpec layer;
+    layer.name = "linear" + std::to_string(li);
+    layer.rows = layers[li]->weight().value().size(0);
+    layer.cols = layers[li]->weight().value().size(1);
+    layer.uses_per_token = 1;
+    spec.layers.push_back(std::move(layer));
+  }
+  return spec;
+}
+
+LatencyModelConfig fit_latency_config(
+    const ModelSpec& spec, const std::vector<LatencyObservation>& observations,
+    double host_freq_mhz, LatencyModelConfig base) {
+  check(host_freq_mhz > 0.0, "fit_latency_config: bad host frequency");
+  const double cycles_per_ms = host_freq_mhz * 1e3;
+  const double macs = spec.dense_macs();
+  check(macs > 0.0, "fit_latency_config: spec has no MACs");
+
+  // Dense anchor: regress measured cycles against effective MAC count.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::int64_t n_dense = 0;
+  for (const LatencyObservation& obs : observations) {
+    if (obs.mode != ExecMode::kDense) {
+      continue;
+    }
+    check(obs.wall_ms > 0.0 && obs.batch_size >= 1,
+          "fit_latency_config: bad dense observation");
+    const double x =
+        static_cast<double>(obs.batch_size) * macs * (1.0 - obs.sparsity);
+    const double y = obs.wall_ms * cycles_per_ms;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n_dense;
+  }
+  check(n_dense >= 2, "fit_latency_config: need >= 2 dense observations");
+  const double denom = static_cast<double>(n_dense) * sxx - sx * sx;
+  check(std::abs(denom) > 1e-12 * sxx,
+        "fit_latency_config: dense observations share one batch size");
+  double slope = (static_cast<double>(n_dense) * sxy - sx * sy) / denom;
+  double fixed = (sy - slope * sx) / static_cast<double>(n_dense);
+  if (slope <= 0.0) {
+    // Timing noise made measured cycles non-monotone in batch size; fall
+    // back to the through-origin ratio estimator (always positive for
+    // positive observations) rather than failing the calibration run.
+    slope = sy / sx;
+    fixed = 0.0;
+  }
+  LatencyModelConfig fitted = base;
+  fitted.macs_per_cycle = 1.0 / slope;
+  fitted.fixed_cycles = std::max(0.0, fixed);
+
+  // Each sparse mode's overhead: mean ratio of measured compute cycles to
+  // the dense-anchored prediction.
+  const auto fit_overhead = [&](ExecMode mode, double fallback) {
+    double ratio_sum = 0.0;
+    std::int64_t count = 0;
+    for (const LatencyObservation& obs : observations) {
+      if (obs.mode != mode) {
+        continue;
+      }
+      check(obs.wall_ms > 0.0 && obs.batch_size >= 1 && obs.sparsity < 1.0,
+            "fit_latency_config: bad sparse observation");
+      const double compute =
+          obs.wall_ms * cycles_per_ms - fitted.fixed_cycles;
+      const double baseline = static_cast<double>(obs.batch_size) * macs *
+                              (1.0 - obs.sparsity) / fitted.macs_per_cycle;
+      ratio_sum += compute / baseline;
+      ++count;
+    }
+    if (count == 0) {
+      return fallback;
+    }
+    return std::max(0.05, ratio_sum / static_cast<double>(count));
+  };
+  fitted.block_overhead = fit_overhead(ExecMode::kBlock, base.block_overhead);
+  fitted.pattern_overhead =
+      fit_overhead(ExecMode::kPattern, base.pattern_overhead);
+  fitted.irregular_overhead =
+      fit_overhead(ExecMode::kIrregular, base.irregular_overhead);
+  return fitted;
+}
+
+double calibration_error(const ModelSpec& spec,
+                         const std::vector<LatencyObservation>& observations,
+                         const LatencyModelConfig& config,
+                         double host_freq_mhz) {
+  check(!observations.empty(), "calibration_error: no observations");
+  check(host_freq_mhz > 0.0, "calibration_error: bad host frequency");
+  double err = 0.0;
+  for (const LatencyObservation& obs : observations) {
+    check(obs.wall_ms > 0.0, "calibration_error: bad observation");
+    const double predicted_ms =
+        predicted_batch_cycles(spec, obs, config) / (host_freq_mhz * 1e3);
+    err += std::abs(predicted_ms - obs.wall_ms) / obs.wall_ms;
+  }
+  return err / static_cast<double>(observations.size());
+}
+
+}  // namespace rt3

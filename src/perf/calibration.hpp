@@ -1,0 +1,57 @@
+// Fitting the analytic LatencyModel to measured kernel wall times.
+//
+// The paper calibrates its compiler-side performance model against device
+// measurements (Table II anchor); this module does the same against the
+// MeasuredBackend: dense observations at several batch sizes fix
+// macs_per_cycle and fixed_cycles by linear regression, and each sparse
+// mode's overhead multiplier is the mean ratio of its measured compute
+// cycles to the dense prediction — so the analytic model "stays honest"
+// as kernels evolve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "perf/latency_model.hpp"
+#include "perf/model_spec.hpp"
+
+namespace rt3 {
+
+/// One measured batch execution.
+struct LatencyObservation {
+  ExecMode mode = ExecMode::kDense;
+  /// Effective weight sparsity of the plans that ran (0 for dense).
+  double sparsity = 0.0;
+  std::int64_t batch_size = 1;
+  /// Measured host wall time of the batch's kernels.
+  double wall_ms = 0.0;
+};
+
+/// ModelSpec describing a set of live layers (one LayerSpec per Linear,
+/// `tokens_per_inference` activation columns per request) so analytic
+/// predictions and kernel measurements count the same MACs.
+ModelSpec spec_from_layers(const std::string& name,
+                           const std::vector<Linear*>& layers,
+                           std::int64_t tokens_per_inference);
+
+/// Fits macs_per_cycle, fixed_cycles, and per-mode overheads to the
+/// observations, cycle-accounted at `host_freq_mhz`.  Requires at least
+/// two dense observations at distinct batch sizes (they anchor the fit;
+/// throws CheckError otherwise); modes without observations keep `base`'s
+/// overhead.  When timing noise makes the dense regression degenerate
+/// (non-positive slope) the fit degrades to the through-origin ratio
+/// estimator with zero fixed cost instead of failing.
+LatencyModelConfig fit_latency_config(
+    const ModelSpec& spec, const std::vector<LatencyObservation>& observations,
+    double host_freq_mhz, LatencyModelConfig base = {});
+
+/// Mean |measured - predicted| / measured over the observations under a
+/// fitted config (prediction = batch-amortized analytic latency at
+/// `host_freq_mhz`).  The Calibrator reports this as fit quality.
+double calibration_error(const ModelSpec& spec,
+                         const std::vector<LatencyObservation>& observations,
+                         const LatencyModelConfig& config,
+                         double host_freq_mhz);
+
+}  // namespace rt3

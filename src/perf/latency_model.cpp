@@ -7,17 +7,24 @@
 namespace rt3 {
 
 double exec_mode_overhead(ExecMode mode) {
+  // The numbers live in the LatencyModelConfig field defaults (block:
+  // near-dense inner loops on kept columns; pattern: compiler-scheduled
+  // decode, PatDNN-style; irregular: per-element COO indexing).
+  return LatencyModelConfig{}.mode_overhead(mode);
+}
+
+double LatencyModelConfig::mode_overhead(ExecMode mode) const {
   switch (mode) {
     case ExecMode::kDense:
       return 1.0;
     case ExecMode::kBlock:
-      return 1.02;  // near-dense inner loops on kept columns
+      return block_overhead;
     case ExecMode::kPattern:
-      return 1.08;  // compiler-scheduled pattern decode (PatDNN-style)
+      return pattern_overhead;
     case ExecMode::kIrregular:
-      return 1.65;  // per-element COO indexing
+      return irregular_overhead;
   }
-  throw CheckError("exec_mode_overhead: unknown mode");
+  throw CheckError("LatencyModelConfig::mode_overhead: unknown mode");
 }
 
 LatencyModel::LatencyModel(LatencyModelConfig config) : config_(config) {
@@ -29,7 +36,7 @@ double LatencyModel::cycles(const ModelSpec& spec, double sparsity,
   check(sparsity >= 0.0 && sparsity < 1.0, "LatencyModel: bad sparsity");
   const double density = 1.0 - sparsity;
   const double effective_macs =
-      spec.dense_macs() * density * exec_mode_overhead(mode);
+      spec.dense_macs() * density * config_.mode_overhead(mode);
   return effective_macs / config_.macs_per_cycle + config_.fixed_cycles;
 }
 
@@ -74,7 +81,8 @@ void LatencyModel::calibrate(const ModelSpec& spec, double sparsity,
         "LatencyModel::calibrate: fixed cost exceeds target");
   const double density = 1.0 - sparsity;
   config_.macs_per_cycle =
-      spec.dense_macs() * density * exec_mode_overhead(mode) / compute_cycles;
+      spec.dense_macs() * density * config_.mode_overhead(mode) /
+      compute_cycles;
 }
 
 SwitchCostModel::SwitchCostModel(SwitchCostConfig config) : config_(config) {

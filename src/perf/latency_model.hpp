@@ -21,10 +21,11 @@ enum class ExecMode : std::uint8_t {
   kIrregular,  // COO-indexed irregular sparsity
 };
 
-/// Cycle-level overhead multipliers per execution mode.  Block pruning
-/// keeps dense inner loops; pattern execution pays a small decode cost;
-/// irregular sparsity pays heavily for per-element indices (the paper's
-/// Challenge 1).
+/// Default cycle-level overhead multipliers per execution mode.  Block
+/// pruning keeps dense inner loops; pattern execution pays a small decode
+/// cost; irregular sparsity pays heavily for per-element indices (the
+/// paper's Challenge 1).  These seed LatencyModelConfig; a Calibrator fit
+/// (src/exec/calibrator.hpp) replaces them with measured ratios.
 double exec_mode_overhead(ExecMode mode);
 
 struct LatencyModelConfig {
@@ -32,6 +33,13 @@ struct LatencyModelConfig {
   double macs_per_cycle = 8.0;
   /// Cycles of fixed per-inference runtime overhead (scheduling, IO).
   double fixed_cycles = 2.0e6;
+  /// Per-mode overhead multipliers (dense is the 1.0 anchor); defaults
+  /// mirror exec_mode_overhead().
+  double block_overhead = 1.02;
+  double pattern_overhead = 1.08;
+  double irregular_overhead = 1.65;
+
+  double mode_overhead(ExecMode mode) const;
 };
 
 /// cycles -> milliseconds at a DVFS frequency.

@@ -1,8 +1,9 @@
 #include "runtime/engine.hpp"
 
-#include <chrono>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/wall_time.hpp"
 
 namespace rt3 {
 
@@ -32,13 +33,18 @@ SwitchReport ReconfigEngine::switch_to(std::int64_t to) {
   report.modeled_ms = cost_model_.pattern_set_switch_ms(
       set.storage_bytes() + tiles * 2, tiles);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = wall_now();
   pruner_.apply_pattern_set(set);
-  const auto t1 = std::chrono::steady_clock::now();
-  report.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  report.wall_ms = wall_ms_since(t0);
+  if (plan_swap_hook_) {
+    report.plan_swap_wall_ms = plan_swap_hook_(to);
+  }
   current_ = to;
   return report;
+}
+
+void ReconfigEngine::set_plan_swap_hook(PlanSwapHook hook) {
+  plan_swap_hook_ = std::move(hook);
 }
 
 double ReconfigEngine::sparsity_at(std::int64_t level) {

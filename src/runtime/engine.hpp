@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dvfs/dvfs.hpp"
@@ -21,7 +22,14 @@ struct SwitchReport {
   double modeled_ms = 0.0;
   /// Wall-clock time the mask re-composition took on this host.
   double wall_ms = 0.0;
+  /// Wall-clock time the plan-swap hook took (0 when no hook is set).
+  double plan_swap_wall_ms = 0.0;
 };
+
+/// Hook invoked after a pattern-set switch is applied, with the new level;
+/// returns the host wall ms spent swapping execution plans (typically
+/// PlanCache::swap_to via a MeasuredBackend).
+using PlanSwapHook = std::function<double(std::int64_t)>;
 
 /// Holds the backbone-resident model and switches pattern sets.
 class ReconfigEngine {
@@ -40,6 +48,11 @@ class ReconfigEngine {
   /// Applies level `to`'s pattern set (no-op report if already active).
   SwitchReport switch_to(std::int64_t to);
 
+  /// Installs (or clears, with nullptr) the per-level plan-swap hook; it
+  /// runs inside every effective switch_to and its wall time is reported
+  /// in SwitchReport::plan_swap_wall_ms.
+  void set_plan_swap_hook(PlanSwapHook hook);
+
   /// Overall model sparsity at a level (measured on the composed masks).
   double sparsity_at(std::int64_t level);
 
@@ -52,6 +65,7 @@ class ReconfigEngine {
   ModelSpec spec_;
   std::int64_t psize_;
   std::int64_t current_ = -1;
+  PlanSwapHook plan_swap_hook_;
 };
 
 /// Battery-discharge simulation (the paper's Table II experiment and the

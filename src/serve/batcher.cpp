@@ -35,6 +35,21 @@ double Batcher::release_at_ms() const {
   return pending_.front().arrival_ms + policy_.max_wait_ms;
 }
 
+std::vector<Request> Batcher::shed_expired(double now_ms) {
+  std::vector<Request> shed;
+  // Arrival order does not imply deadline order (slacks may differ), so
+  // scan the whole queue, not just its head.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->deadline_ms <= now_ms) {
+      shed.push_back(*it);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return shed;
+}
+
 std::vector<Request> Batcher::pop_batch(double now_ms, bool force) {
   check(force || ready(now_ms), "Batcher: pop_batch before ready");
   std::vector<Request> batch;

@@ -43,6 +43,11 @@ class Batcher {
   /// unless nothing was pending.
   std::vector<Request> pop_batch(double now_ms, bool force = false);
 
+  /// Load shedding: removes every pending request whose deadline is
+  /// already blown at `now_ms` (it could not possibly be served in time),
+  /// so it never occupies a batch slot.  Returns the shed requests.
+  std::vector<Request> shed_expired(double now_ms);
+
   std::int64_t pending() const {
     return static_cast<std::int64_t>(pending_.size());
   }

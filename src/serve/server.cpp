@@ -23,9 +23,19 @@ Server::Server(ServerConfig config, VfTable table, Governor governor,
   check(sparsities_.size() == governor_.levels().size(),
         "Server: one sparsity per governor level required");
   Batcher policy_probe(config_.batch);  // reject a bad policy up front
-  for (std::int64_t li : governor_.levels()) {
+  std::vector<double> freqs;
+  std::vector<double> effective_sparsities;
+  for (std::size_t i = 0; i < governor_.levels().size(); ++i) {
+    const std::int64_t li = governor_.levels()[i];
     check(li >= 0 && li < table_.size(), "Server: governor level not in table");
+    freqs.push_back(table_.level(li).freq_mhz);
+    effective_sparsities.push_back(
+        sparsity_for(static_cast<std::int64_t>(i)));
   }
+  analytic_ = std::make_unique<AnalyticBackend>(
+      latency_, spec_, config_.exec_mode, std::move(freqs),
+      std::move(effective_sparsities));
+  backend_ = analytic_.get();
 }
 
 void Server::attach_engine(ReconfigEngine* engine) {
@@ -35,6 +45,10 @@ void Server::attach_engine(ReconfigEngine* engine) {
           "Server: engine must have one pattern set per governor level");
   }
   engine_ = engine;
+}
+
+void Server::attach_backend(ExecutionBackend* backend) {
+  backend_ = backend != nullptr ? backend : analytic_.get();
 }
 
 void Server::set_batch_observer(BatchObserver observer) {
@@ -59,24 +73,13 @@ double Server::sparsity_for(std::int64_t level_pos) const {
 
 double Server::batch_latency_ms(std::int64_t batch_size,
                                 std::int64_t level_pos) const {
-  check(batch_size >= 1, "Server: empty batch");
-  check(level_pos >= 0 &&
-            level_pos < static_cast<std::int64_t>(governor_.levels().size()),
-        "Server: level position out of range");
-  const VfLevel& level = table_.level(
-      governor_.levels()[static_cast<std::size_t>(level_pos)]);
-  const double cycles_one =
-      latency_.cycles(spec_, sparsity_for(level_pos), config_.exec_mode);
-  const double fixed = latency_.config().fixed_cycles;
-  // One runtime setup per batch, MAC work per request.
-  const double batch_cycles =
-      fixed + (cycles_one - fixed) * static_cast<double>(batch_size);
-  return batch_cycles / (level.freq_mhz * 1000.0);
+  return analytic_->batch_latency_ms(batch_size, level_pos);
 }
 
 ServerStats Server::serve(const std::vector<Request>& schedule) {
   ServerStats stats;
   stats.submitted = static_cast<std::int64_t>(schedule.size());
+  stats.backend = backend_->name();
   stats.runs_per_level.assign(governor_.levels().size(), 0.0);
   battery_.recharge();
   Batcher batcher(config_.batch);
@@ -94,20 +97,35 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     // drained by construction, queued requests survive the switch.
     const std::int64_t pos = level_position(battery_.fraction());
     if (pos != active) {
+      // An engine with a plan-swap hook swaps plans inside switch_to;
+      // the hook's wall cost is folded into this switch's swap entry so
+      // the subsequent (then no-op) activate_level is not double-counted
+      // as zero.
+      double engine_swap_ms = 0.0;
       if (config_.software_reconfig && active >= 0) {
         if (!battery_.drain(config_.switch_energy_mj)) {
           break;  // no charge left to pay for the switch; session ends
         }
         stats.energy_used_mj += config_.switch_energy_mj;
-        const double switch_ms = engine_ != nullptr
-                                     ? engine_->switch_to(pos).modeled_ms
-                                     : config_.switch_latency_ms;
+        double switch_ms = config_.switch_latency_ms;
+        if (engine_ != nullptr) {
+          const SwitchReport report = engine_->switch_to(pos);
+          switch_ms = report.modeled_ms;
+          engine_swap_ms = report.plan_swap_wall_ms;
+        }
         ++stats.switches;
         now += switch_ms;
         stats.switch_ms_total += switch_ms;
       } else if (config_.software_reconfig && engine_ != nullptr) {
-        engine_->switch_to(pos);  // initial activation: free at t = 0
+        // Initial activation: free at t = 0.
+        engine_swap_ms = engine_->switch_to(pos).plan_swap_wall_ms;
       }
+      // Swap the active execution-plan set along with the pattern set
+      // (virtual-time free: precompiled plans make this a pointer swap,
+      // but the wall cost is reported per switch).
+      const double swap_ms = engine_swap_ms + backend_->activate_level(pos);
+      stats.plan_swap_ms.push_back(swap_ms);
+      stats.plan_swap_ms_total += swap_ms;
       active = pos;
       continue;  // re-read the fraction in case the switch drained it dry
     }
@@ -117,6 +135,16 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
            schedule[static_cast<std::size_t>(next)].arrival_ms <= now) {
       batcher.push(schedule[static_cast<std::size_t>(next)]);
       ++next;
+    }
+
+    // Load shedding: a request whose deadline has already passed cannot
+    // be served in time, so drop it before it occupies a batch slot.
+    if (config_.shed_expired) {
+      stats.shed +=
+          static_cast<std::int64_t>(batcher.shed_expired(now).size());
+      if (batcher.pending() == 0 && next >= n) {
+        continue;  // everything left was shed; the loop condition ends it
+      }
     }
 
     if (!batcher.ready(now)) {
@@ -134,8 +162,10 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     }
 
     const std::vector<Request> batch = batcher.pop_batch(now);
-    const double lat_ms =
-        batch_latency_ms(static_cast<std::int64_t>(batch.size()), pos);
+    const BatchExecution exec =
+        backend_->run_batch(static_cast<std::int64_t>(batch.size()), pos);
+    const double lat_ms = exec.latency_ms;
+    stats.kernel_wall_ms_total += exec.kernel_wall_ms;
     const VfLevel& level =
         table_.level(governor_.levels()[static_cast<std::size_t>(pos)]);
     const double energy = power_.energy_mj(level, lat_ms);

@@ -19,9 +19,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "dvfs/dvfs.hpp"
+#include "exec/analytic_backend.hpp"
+#include "exec/backend.hpp"
 #include "perf/latency_model.hpp"
 #include "perf/model_spec.hpp"
 #include "runtime/engine.hpp"
@@ -44,6 +47,9 @@ struct ServerConfig {
   /// the modeled pattern-set switch time is used instead.
   double switch_latency_ms = 5.0;
   ExecMode exec_mode = ExecMode::kPattern;
+  /// Load shedding: drop a request once its deadline is already blown,
+  /// before it occupies a batch slot (counted in ServerStats::shed).
+  bool shed_expired = false;
 };
 
 /// Called after every executed batch: the batch, the governor-level
@@ -64,6 +70,13 @@ class Server {
   /// The engine must have one pattern set per governor level.
   void attach_engine(ReconfigEngine* engine);
 
+  /// Attaches an execution backend (non-owning); nullptr restores the
+  /// built-in AnalyticBackend.  The backend's run_batch drives batch
+  /// latency and its activate_level is called at every drain-then-switch
+  /// point (and once at session start).
+  void attach_backend(ExecutionBackend* backend);
+  const ExecutionBackend& backend() const { return *backend_; }
+
   void set_batch_observer(BatchObserver observer);
 
   /// Runs one full session over a pre-generated arrival schedule
@@ -75,8 +88,10 @@ class Server {
   /// from any number of threads.
   ServerStats serve_queue(RequestQueue& queue);
 
-  /// Latency of one batch at a governor-level position: the fixed
+  /// ANALYTIC latency of one batch at a governor-level position: the fixed
   /// per-inference runtime cost is paid once, the MAC cost per request.
+  /// This is the built-in AnalyticBackend's formula regardless of which
+  /// backend is attached (kept as the modeled reference).
   double batch_latency_ms(std::int64_t batch_size,
                           std::int64_t level_pos) const;
 
@@ -97,6 +112,9 @@ class Server {
   std::vector<double> sparsities_;
   Battery battery_;
   ReconfigEngine* engine_ = nullptr;
+  /// Built-in analytic path; backend_ points here unless one is attached.
+  std::unique_ptr<AnalyticBackend> analytic_;
+  ExecutionBackend* backend_ = nullptr;
   BatchObserver observer_;
 };
 

@@ -39,17 +39,25 @@ ReconfigEngine& ServeSession::engine() {
   return *engine_;
 }
 
+MeasuredBackend& ServeSession::measured_backend() {
+  check(measured_ != nullptr,
+        "ServeSession: analytic session has no MeasuredBackend");
+  return *measured_;
+}
+
 ServeSession::ServeSession(const ServeSessionConfig& config)
     : rng_(config.seed) {
   const VfTable table = VfTable::odroid_xu3_a7();
   const ModelSpec spec = ModelSpec::paper_transformer();
   const LatencyModel latency = paper_calibrated_latency();
   sparsities_ = paper_ladder_sparsities(latency, config.timing_constraint_ms);
+  const bool measured = config.backend == ExecBackendKind::kMeasured;
 
   ServerConfig scfg;
   scfg.battery_capacity_mj = config.battery_capacity_mj;
   scfg.batch = config.batch;
   scfg.software_reconfig = config.software_reconfig;
+  scfg.shed_expired = config.shed_expired;
   scfg.exec_mode =
       config.software_reconfig ? ExecMode::kPattern : ExecMode::kBlock;
   const std::vector<double> served_sparsities =
@@ -60,14 +68,19 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
       scfg, table, Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
       latency, spec, served_sparsities);
 
-  if (!config.software_reconfig) {
-    return;  // hardware-only baseline: no engine, no pattern switches
+  if (!config.software_reconfig && !measured) {
+    return;  // hardware-only analytic baseline: no engine, no kernels
   }
 
-  // Small resident backbone with real masks; the analytic models carry
-  // the paper-scale numbers, the engine carries the switch semantics.
-  for (int i = 0; i < 2; ++i) {
-    owned_layers_.push_back(std::make_unique<Linear>(16, 16, rng_));
+  // Resident backbone with real masks; the analytic models carry the
+  // paper-scale numbers, the engine carries the switch semantics.  The
+  // measured backend needs enough MAC work per layer to time, so its
+  // backbone is bigger than the 16 x 16 engine-only demo.
+  const std::int64_t dim = measured ? config.measured_layer_dim : 16;
+  const std::int64_t num_layers = measured ? config.measured_layers : 2;
+  check(dim >= 8 && num_layers >= 1, "ServeSession: bad backbone sizing");
+  for (std::int64_t i = 0; i < num_layers; ++i) {
+    owned_layers_.push_back(std::make_unique<Linear>(dim, dim, rng_));
     layers_.push_back(owned_layers_.back().get());
   }
   pruner_ = std::make_unique<ModelPruner>(layers_);
@@ -79,9 +92,35 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
   for (double s : {0.25, 0.5, 0.75}) {  // denser set at faster level
     sets.push_back(random_pattern_set(4, s, 2, rng_));
   }
-  engine_ = std::make_unique<ReconfigEngine>(*pruner_, std::move(sets),
-                                             SwitchCostModel(), spec, 100);
-  server_->attach_engine(engine_.get());
+
+  if (measured) {
+    std::vector<double> freqs;
+    for (std::int64_t li : paper_serve_ladder()) {
+      freqs.push_back(table.level(li).freq_mhz);
+    }
+    MeasuredBackendConfig mcfg;
+    mcfg.mode = config.software_reconfig ? ExecMode::kPattern
+                                         : ExecMode::kBlock;
+    mcfg.threads = config.measured_threads;
+    mcfg.max_batch =
+        std::max<std::int64_t>(64, config.batch.max_batch_size);
+    const std::vector<PatternSet> level_sets =
+        config.software_reconfig ? sets : std::vector<PatternSet>{};
+    measured_ = std::make_unique<MeasuredBackend>(
+        mcfg, layers_, pruner_->backbone_masks(), level_sets,
+        std::move(freqs));
+    // Map a batch of 1 at the fastest level to ~80% of the timing
+    // constraint, so the virtual session walks the same battery/deadline
+    // regime as the calibrated analytic path.
+    measured_->auto_scale(0.8 * config.timing_constraint_ms);
+    server_->attach_backend(measured_.get());
+  }
+
+  if (config.software_reconfig) {
+    engine_ = std::make_unique<ReconfigEngine>(*pruner_, std::move(sets),
+                                               SwitchCostModel(), spec, 100);
+    server_->attach_engine(engine_.get());
+  }
 }
 
 }  // namespace rt3

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "exec/backend.hpp"
+#include "exec/measured_backend.hpp"
 #include "nn/linear.hpp"
 #include "pruning/model_pruner.hpp"
 #include "runtime/engine.hpp"
@@ -42,6 +44,18 @@ struct ServeSessionConfig {
   BatchPolicy batch{2, 20.0};
   /// false = hardware-only baseline: fixed sub-model, no engine, kBlock.
   bool software_reconfig = true;
+  /// analytic = modeled batch latency (historical path); measured = the
+  /// pruned layers actually run as kernels and wall time drives the clock.
+  ExecBackendKind backend = ExecBackendKind::kAnalytic;
+  /// Measured-backend sizing: the resident demo backbone grows to
+  /// `measured_layers` square layers of side `measured_layer_dim` so
+  /// kernel times are measurable.
+  std::int64_t measured_layers = 3;
+  std::int64_t measured_layer_dim = 64;
+  std::int64_t measured_threads = 2;
+  /// Drop requests whose deadline is already blown before they occupy a
+  /// batch slot (ServerStats::shed).
+  bool shed_expired = false;
   std::uint64_t seed = 11;
 };
 
@@ -55,6 +69,9 @@ class ServeSession {
   /// Only present with software_reconfig (throws on the hw-only baseline).
   ReconfigEngine& engine();
   bool has_engine() const { return engine_ != nullptr; }
+  /// Only present with backend == kMeasured (throws otherwise).
+  MeasuredBackend& measured_backend();
+  bool has_measured_backend() const { return measured_ != nullptr; }
   const std::vector<double>& sparsities() const { return sparsities_; }
 
  private:
@@ -63,6 +80,7 @@ class ServeSession {
   std::vector<Linear*> layers_;
   std::unique_ptr<ModelPruner> pruner_;
   std::unique_ptr<ReconfigEngine> engine_;
+  std::unique_ptr<MeasuredBackend> measured_;
   std::vector<double> sparsities_;
   std::unique_ptr<Server> server_;
 };

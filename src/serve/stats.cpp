@@ -71,13 +71,18 @@ double ServerStats::latency_percentile(double p) const {
 std::string ServerStats::summary() const {
   const LatencyTail tail = latency_tail(latency_ms);
   std::ostringstream os;
-  os << "  submitted        : " << submitted << "\n"
+  os << "  backend          : " << (backend.empty() ? "analytic" : backend)
+     << "\n"
+     << "  submitted        : " << submitted << "\n"
      << "  completed        : " << completed << "\n"
      << "  dropped          : " << dropped << "\n"
+     << "  shed             : " << shed << "\n"
      << "  batches          : " << batches << " (mean size "
      << fmt_f(mean_batch_size(), 2) << ")\n"
      << "  switches         : " << switches << " ("
      << fmt_f(switch_ms_total, 2) << " ms total)\n"
+     << "  plan swaps       : " << plan_swap_ms.size() << " ("
+     << fmt_f(plan_swap_ms_total, 4) << " ms wall total)\n"
      << "  throughput       : " << fmt_f(throughput_rps(), 1) << " req/s\n"
      << "  latency p50/p95/p99 : " << fmt_f(tail.p50, 1) << " / "
      << fmt_f(tail.p95, 1) << " / " << fmt_f(tail.p99, 1) << " ms\n"
@@ -85,6 +90,7 @@ std::string ServerStats::summary() const {
      << fmt_pct(miss_rate()) << ")\n"
      << "  session length   : " << fmt_f(sim_end_ms / 1000.0, 1)
      << " s virtual (busy " << fmt_f(busy_ms / 1000.0, 1) << " s)\n"
+     << "  kernel wall time : " << fmt_f(kernel_wall_ms_total, 2) << " ms\n"
      << "  energy used      : " << fmt_f(energy_used_mj, 0) << " mJ\n"
      << "  runs per level   : ";
   for (double runs : runs_per_level) {
@@ -98,13 +104,19 @@ std::string ServerStats::to_json() const {
   const LatencyTail tail = latency_tail(latency_ms);
   std::ostringstream os;
   os << "{"
+     << "\"backend\": \"" << (backend.empty() ? "analytic" : backend)
+     << "\", "
      << "\"submitted\": " << submitted << ", "
      << "\"completed\": " << completed << ", "
      << "\"dropped\": " << dropped << ", "
+     << "\"shed\": " << shed << ", "
      << "\"batches\": " << batches << ", "
      << "\"mean_batch_size\": " << mean_batch_size() << ", "
      << "\"switches\": " << switches << ", "
      << "\"switch_ms_total\": " << switch_ms_total << ", "
+     << "\"kernel_wall_ms_total\": " << kernel_wall_ms_total << ", "
+     << "\"plan_swap_ms_total\": " << plan_swap_ms_total << ", "
+     << "\"plan_swaps\": " << plan_swap_ms.size() << ", "
      << "\"throughput_rps\": " << throughput_rps() << ", "
      << "\"p50_ms\": " << tail.p50 << ", "
      << "\"p95_ms\": " << tail.p95 << ", "

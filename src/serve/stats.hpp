@@ -15,10 +15,16 @@ struct ServerStats {
   std::int64_t completed = 0;
   /// Requests still queued when the battery died (accounted, never silent).
   std::int64_t dropped = 0;
+  /// Requests shed because their deadline was already blown before they
+  /// occupied a batch slot (only with ServerConfig::shed_expired).
+  std::int64_t shed = 0;
   std::int64_t batches = 0;
   /// Pattern-set switches performed between batches.
   std::int64_t switches = 0;
   std::int64_t deadline_misses = 0;
+
+  /// Execution backend the session ran on ("analytic" / "measured").
+  std::string backend;
 
   /// Virtual time when the last batch finished.
   double sim_end_ms = 0.0;
@@ -27,6 +33,12 @@ struct ServerStats {
   /// Virtual time spent inside pattern-set switches.
   double switch_ms_total = 0.0;
   double energy_used_mj = 0.0;
+  /// Host wall time spent inside backend kernels (0 on the analytic path).
+  double kernel_wall_ms_total = 0.0;
+  /// Host wall time of each per-switch execution-plan swap (PlanCache
+  /// pointer swaps; one entry per level activation, including the first).
+  std::vector<double> plan_swap_ms;
+  double plan_swap_ms_total = 0.0;
 
   /// Queue-to-completion latency per completed request (ms).
   std::vector<double> latency_ms;

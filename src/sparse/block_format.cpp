@@ -64,6 +64,13 @@ const std::vector<std::int64_t>& BlockPrunedMatrix::kept_cols(
   return kept_cols_[static_cast<std::size_t>(block)];
 }
 
+const std::vector<float>& BlockPrunedMatrix::block_values(
+    std::int64_t block) const {
+  check(block >= 0 && block < num_blocks(),
+        "BlockPrunedMatrix::block_values: block out of range");
+  return values_[static_cast<std::size_t>(block)];
+}
+
 Tensor BlockPrunedMatrix::multiply(const Tensor& dense) const {
   check(dense.dim() == 2 && dense.size(0) == cols_,
         "BlockPrunedMatrix::multiply: shape mismatch");

@@ -29,7 +29,12 @@ class BlockPrunedMatrix {
   std::int64_t num_blocks() const {
     return static_cast<std::int64_t>(kept_cols_.size());
   }
+  /// Rows per block (kernel-facing: rows() / num_blocks()).
+  std::int64_t block_rows() const { return block_rows_; }
   const std::vector<std::int64_t>& kept_cols(std::int64_t block) const;
+  /// Dense payload of one block, [block_rows x kept_cols(block).size()]
+  /// row-major — the array the kept-column GEMM kernel streams.
+  const std::vector<float>& block_values(std::int64_t block) const;
 
   /// this [R,C] x dense [C,N] -> [R,N], touching only kept columns.
   Tensor multiply(const Tensor& dense) const;
@@ -66,6 +71,9 @@ class PatternMaskedMatrix {
   std::int64_t cols() const { return cols_; }
   std::int64_t psize() const { return psize_; }
   const std::vector<std::int64_t>& assignments() const { return assignment_; }
+  /// Tile-major kept values and the shared pattern library (kernel-facing).
+  const std::vector<float>& values() const { return values_; }
+  const PatternSet& pattern_set() const { return set_; }
 
   Tensor multiply(const Tensor& dense) const;
 

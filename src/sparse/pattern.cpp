@@ -63,6 +63,17 @@ double Pattern::sparsity() const {
                    static_cast<double>(psize_ * psize_);
 }
 
+std::vector<std::int64_t> Pattern::kept_indices() const {
+  std::vector<std::int64_t> idx;
+  idx.reserve(static_cast<std::size_t>(count_kept()));
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0) {
+      idx.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  return idx;
+}
+
 Tensor Pattern::to_mask() const {
   Tensor mask({psize_, psize_});
   for (std::int64_t i = 0; i < psize_ * psize_; ++i) {

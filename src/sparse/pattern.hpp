@@ -35,6 +35,11 @@ class Pattern {
 
   const std::vector<std::uint8_t>& bits() const { return bits_; }
 
+  /// Row-major flat indices of the kept cells, ascending — the kept-index
+  /// list a kernel plan precompiles once per pattern instead of re-testing
+  /// bits per tile at execution time.
+  std::vector<std::int64_t> kept_indices() const;
+
   /// Binary mask as a psize x psize tensor of 0/1.
   Tensor to_mask() const;
 

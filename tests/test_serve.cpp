@@ -167,6 +167,66 @@ TEST(Traffic, NamesRoundTrip) {
   EXPECT_THROW(traffic_scenario_from_name("tsunami"), CheckError);
 }
 
+TEST(Batcher, ShedExpiredDropsOnlyBlownDeadlines) {
+  Batcher batcher(BatchPolicy{8, 1e9});
+  batcher.push(make_request(0, 0.0, 50.0));
+  batcher.push(make_request(1, 0.0, 500.0));
+  batcher.push(make_request(2, 5.0, 60.0));
+  const auto shed = batcher.shed_expired(60.0);  // deadlines 50 and 60 blown
+  ASSERT_EQ(shed.size(), 2U);
+  EXPECT_EQ(shed[0].id, 0);
+  EXPECT_EQ(shed[1].id, 2);
+  EXPECT_EQ(batcher.pending(), 1);
+  EXPECT_TRUE(batcher.shed_expired(60.0).empty());  // idempotent
+}
+
+TEST(Server, ShedsHopelessRequestsBeforeTheyOccupyASlot) {
+  const LatencyModel latency = paper_calibrated_latency();
+  ServerConfig cfg;
+  cfg.battery_capacity_mj = 1e9;
+  cfg.batch = BatchPolicy{1, 0.0};  // immediate single-request batches
+  cfg.shed_expired = true;
+  Server server(cfg, VfTable::odroid_xu3_a7(),
+                Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
+                latency, ModelSpec::paper_transformer(),
+                paper_ladder_sparsities(latency, 115.0));
+  const double lat = server.batch_latency_ms(1, 0);
+  // Request 1's deadline passes while request 0 executes: without
+  // shedding it would occupy a batch slot only to miss; with shedding it
+  // is dropped before launch and counted as shed.
+  const ServerStats stats = server.serve({
+      make_request(0, 0.0, 1e12),
+      make_request(1, 0.0, lat * 0.5),
+      make_request(2, 0.0, 1e12),
+  });
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.deadline_misses, 0);
+  EXPECT_EQ(stats.completed + stats.shed, stats.submitted);
+}
+
+TEST(Server, SheddingKeepsAccountingExactUnderOverload) {
+  const LatencyModel latency = paper_calibrated_latency();
+  ServerConfig cfg;
+  cfg.battery_capacity_mj = 4'000.0;  // dies mid-session
+  cfg.batch = BatchPolicy{2, 20.0};
+  cfg.shed_expired = true;
+  Server server(cfg, VfTable::odroid_xu3_a7(),
+                Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
+                latency, ModelSpec::paper_transformer(),
+                paper_ladder_sparsities(latency, 115.0));
+  TrafficConfig tcfg;
+  tcfg.scenario = TrafficScenario::kBurst;
+  tcfg.duration_ms = 60'000.0;
+  tcfg.rate_rps = 12.0;  // heavy overload: shedding must engage
+  tcfg.deadline_slack_ms = 200.0;
+  const ServerStats stats = server.serve(generate_traffic(tcfg));
+  EXPECT_GT(stats.shed, 0);
+  EXPECT_EQ(stats.completed + stats.dropped + stats.shed, stats.submitted);
+  // Shed requests never execute, so they are not deadline misses.
+  EXPECT_LE(stats.deadline_misses, stats.completed);
+}
+
 TEST(Server, DeadlineMissAccountingIsExact) {
   Server server = make_paper_server(1e9, BatchPolicy{2, 10.0});
   const double lat = server.batch_latency_ms(2, 0);

@@ -11,6 +11,7 @@
 //       batching, pattern-set switches between batches as the governor
 //       steps the ladder down.  Flags:
 //         --scenario NAME    steady | burst | diurnal        (burst)
+//         --backend NAME     analytic | measured             (analytic)
 //         --capacity MJ      battery budget                  (12000)
 //         --t MS             timing constraint / per-level
 //                            sparsity target                 (115)
@@ -19,6 +20,9 @@
 //         --slack MS         per-request deadline slack      (350)
 //         --batch N          max batch size                  (2)
 //         --wait MS          max batch wait                  (20)
+//         --threads N        measured-backend kernel threads (2)
+//         --shed             drop requests whose deadline is
+//                            already blown (load shedding)
 //         --producers N      concurrent producer threads     (2)
 //         --seed S           traffic seed                    (7)
 //   rt3 levels                                        print the V/F ladder
@@ -29,6 +33,7 @@
 
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
+#include "exec/backend.hpp"
 #include "runtime/engine.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
@@ -56,6 +61,16 @@ std::string arg_string(const std::vector<std::string>& args,
     }
   }
   return fallback;
+}
+
+bool arg_present(const std::vector<std::string>& args,
+                 const std::string& flag) {
+  for (const std::string& a : args) {
+    if (a == flag) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int cmd_levels() {
@@ -171,6 +186,11 @@ int cmd_serve(const std::vector<std::string>& args) {
   scfg.batch.max_batch_size =
       static_cast<std::int64_t>(arg_double(args, "--batch", 2));
   scfg.batch.max_wait_ms = arg_double(args, "--wait", 20.0);
+  scfg.backend =
+      exec_backend_from_name(arg_string(args, "--backend", "analytic"));
+  scfg.measured_threads =
+      static_cast<std::int64_t>(arg_double(args, "--threads", 2));
+  scfg.shed_expired = arg_present(args, "--shed");
 
   TrafficConfig tcfg;
   tcfg.scenario =
@@ -192,15 +212,34 @@ int cmd_serve(const std::vector<std::string>& args) {
             << fmt_f(scfg.timing_constraint_ms, 0) << " ms, batch <= "
             << scfg.batch.max_batch_size << ", wait <= "
             << fmt_f(scfg.batch.max_wait_ms, 0) << " ms, " << producers
-            << " producer threads\n\n";
+            << " producer threads, " << exec_backend_name(scfg.backend)
+            << " backend" << (scfg.shed_expired ? ", shedding" : "")
+            << "\n\n";
   const ServerStats stats =
       serve_concurrent(session.server(), schedule, producers);
   std::cout << stats.summary();
   std::cout << "  final engine lvl : " << session.engine().current_level()
             << " (0 = fastest)\n";
+  if (session.has_measured_backend()) {
+    std::cout << "  plan cache       : "
+              << session.measured_backend().plans().num_levels()
+              << " levels x "
+              << session.measured_backend().plans().num_layers()
+              << " layers pre-built in "
+              << fmt_f(session.measured_backend().plans().build_wall_ms(), 2)
+              << " ms; per-switch swap wall:";
+    for (double ms : stats.plan_swap_ms) {
+      std::cout << " " << fmt_f(ms, 4);
+    }
+    std::cout << " ms\n";
+  }
   if (stats.completed == stats.submitted) {
     std::cout << "\nall " << stats.submitted << " requests served across "
               << stats.switches << " pattern-set switches — none lost.\n";
+  } else if (stats.shed > 0 &&
+             stats.completed + stats.shed == stats.submitted) {
+    std::cout << "\n" << stats.shed << " hopeless requests shed before "
+              << "occupying a batch slot; the rest served.\n";
   } else {
     std::cout << "\nbattery died mid-session: " << stats.dropped
               << " requests dropped (accounted above).\n";
@@ -214,9 +253,10 @@ int usage() {
       "  search   [--t MS] [--episodes N] [--out FILE]  run the AutoML search\n"
       "  info     FILE                                  inspect a package\n"
       "  simulate [--capacity MJ] [--t MS]              discharge simulation\n"
-      "  serve    [--scenario steady|burst|diurnal] [--capacity MJ] [--t MS]\n"
-      "           [--rate RPS] [--duration MS] [--slack MS] [--batch N]\n"
-      "           [--wait MS] [--producers N] [--seed S]\n"
+      "  serve    [--scenario steady|burst|diurnal] [--backend analytic|measured]\n"
+      "           [--capacity MJ] [--t MS] [--rate RPS] [--duration MS]\n"
+      "           [--slack MS] [--batch N] [--wait MS] [--threads N] [--shed]\n"
+      "           [--producers N] [--seed S]\n"
       "                                                 battery-aware serving\n"
       "  levels                                         print the V/F ladder\n";
   return 2;
