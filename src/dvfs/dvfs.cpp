@@ -108,4 +108,15 @@ std::int64_t Governor::level_for(double battery_fraction) const {
   return levels_.back();
 }
 
+double Governor::next_step_down(double battery_fraction) const {
+  check(battery_fraction >= 0.0 && battery_fraction <= 1.0,
+        "Governor: fraction out of range");
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    if (battery_fraction > thresholds_[i]) {
+      return thresholds_[i];
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace rt3

@@ -96,6 +96,14 @@ class Governor {
   static Governor equal_tranches(std::vector<std::int64_t> levels);
 
   std::int64_t level_for(double battery_fraction) const;
+
+  /// Battery fraction at which the level selected for `battery_fraction`
+  /// steps down to the next rung (0 when already on the last level —
+  /// there is nothing below).  Governor-aware batching shrinks batches
+  /// when `battery_fraction - next_step_down(...)` falls inside a margin,
+  /// so the drain-then-switch point arrives sooner.
+  double next_step_down(double battery_fraction) const;
+
   const std::vector<std::int64_t>& levels() const { return levels_; }
 
  private:

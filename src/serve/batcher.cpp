@@ -7,22 +7,24 @@
 
 namespace rt3 {
 
-Batcher::Batcher(BatchPolicy policy) : policy_(policy) {
+Batcher::Batcher(BatchPolicy policy, SchedulerConfig scheduler)
+    : policy_(policy), cap_(policy.max_batch_size), pending_(scheduler) {
   check(policy_.max_batch_size >= 1, "Batcher: max_batch_size must be >= 1");
   check(policy_.max_wait_ms >= 0.0, "Batcher: negative max_wait_ms");
 }
 
 void Batcher::push(const Request& r) {
-  check(pending_.empty() || pending_.back().arrival_ms <= r.arrival_ms,
+  check(pending_.empty() || last_arrival_ms_ <= r.arrival_ms,
         "Batcher: requests must arrive in timestamp order");
-  pending_.push_back(r);
+  last_arrival_ms_ = r.arrival_ms;
+  pending_.push(r);
 }
 
 bool Batcher::ready(double now_ms) const {
   if (pending_.empty()) {
     return false;
   }
-  if (static_cast<std::int64_t>(pending_.size()) >= policy_.max_batch_size) {
+  if (pending_.size() >= cap_) {
     return true;
   }
   return now_ms >= release_at_ms();
@@ -32,33 +34,25 @@ double Batcher::release_at_ms() const {
   if (pending_.empty()) {
     return std::numeric_limits<double>::infinity();
   }
-  return pending_.front().arrival_ms + policy_.max_wait_ms;
+  return pending_.min_arrival_ms() + policy_.max_wait_ms;
 }
 
 std::vector<Request> Batcher::shed_expired(double now_ms) {
-  std::vector<Request> shed;
-  // Arrival order does not imply deadline order (slacks may differ), so
-  // scan the whole queue, not just its head.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->deadline_ms <= now_ms) {
-      shed.push_back(*it);
-      it = pending_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return shed;
+  return pending_.extract_expired(now_ms);
+}
+
+void Batcher::set_batch_cap(std::int64_t cap) {
+  cap_ = std::clamp<std::int64_t>(cap, 1, policy_.max_batch_size);
 }
 
 std::vector<Request> Batcher::pop_batch(double now_ms, bool force) {
   check(force || ready(now_ms), "Batcher: pop_batch before ready");
   std::vector<Request> batch;
-  const auto take = static_cast<std::size_t>(
-      std::min<std::int64_t>(policy_.max_batch_size, pending()));
+  const auto take =
+      static_cast<std::size_t>(std::min<std::int64_t>(cap_, pending()));
   batch.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(pending_.front());
-    pending_.pop_front();
+    batch.push_back(pending_.pop());
   }
   return batch;
 }

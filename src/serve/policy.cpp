@@ -1,0 +1,32 @@
+#include "serve/policy.hpp"
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+SchedulingPolicy scheduling_policy_from_name(const std::string& name) {
+  if (name == "fifo") {
+    return SchedulingPolicy::kFifo;
+  }
+  if (name == "edf") {
+    return SchedulingPolicy::kEdf;
+  }
+  if (name == "edf-prio") {
+    return SchedulingPolicy::kEdfPriority;
+  }
+  throw CheckError("unknown scheduling policy: " + name);
+}
+
+std::string scheduling_policy_name(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kEdf:
+      return "edf";
+    case SchedulingPolicy::kEdfPriority:
+      return "edf-prio";
+  }
+  return "?";
+}
+
+}  // namespace rt3

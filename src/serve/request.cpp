@@ -1,23 +1,105 @@
 #include "serve/request.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace rt3 {
 
-RequestQueue::RequestQueue(std::int64_t capacity) : capacity_(capacity) {
+double policy_key(const Request& r, const SchedulerConfig& config) {
+  switch (config.policy) {
+    case SchedulingPolicy::kFifo:
+      // Constant key: the sequence tie-break alone yields push order.
+      return 0.0;
+    case SchedulingPolicy::kEdf:
+      return r.deadline_ms;
+    case SchedulingPolicy::kEdfPriority:
+      return r.deadline_ms +
+             config.prio_weight_ms * static_cast<double>(r.priority) +
+             config.aging_ms_per_ms * r.arrival_ms;
+  }
+  return 0.0;
+}
+
+RequestHeap::RequestHeap(SchedulerConfig config) : config_(config) {
+  check(config_.prio_weight_ms >= 0.0, "RequestHeap: negative prio weight");
+  check(config_.aging_ms_per_ms >= 0.0, "RequestHeap: negative aging rate");
+}
+
+bool RequestHeap::later(const Entry& a, const Entry& b) {
+  // True when a schedules AFTER b, i.e. a is "less" in pop priority —
+  // std::*_heap then keep the policy-minimal entry at the front.
+  return a.key != b.key ? a.key > b.key : a.seq > b.seq;
+}
+
+void RequestHeap::push(const Request& r) {
+  Entry e;
+  e.key = policy_key(r, config_);
+  e.seq = next_seq_++;
+  e.req = r;
+  entries_.push_back(std::move(e));
+  std::push_heap(entries_.begin(), entries_.end(), later);
+}
+
+const Request& RequestHeap::peek() const {
+  check(!entries_.empty(), "RequestHeap: peek on empty heap");
+  return entries_.front().req;
+}
+
+Request RequestHeap::pop() {
+  check(!entries_.empty(), "RequestHeap: pop on empty heap");
+  std::pop_heap(entries_.begin(), entries_.end(), later);
+  Request out = std::move(entries_.back().req);
+  entries_.pop_back();
+  return out;
+}
+
+void RequestHeap::clear() { entries_.clear(); }
+
+double RequestHeap::min_arrival_ms() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    earliest = std::min(earliest, e.req.arrival_ms);
+  }
+  return earliest;
+}
+
+std::vector<Request> RequestHeap::extract_expired(double now_ms) {
+  std::vector<Entry> expired;
+  std::vector<Entry> kept;
+  kept.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    (e.req.deadline_ms <= now_ms ? expired : kept).push_back(std::move(e));
+  }
+  entries_ = std::move(kept);
+  // Rebuild: the survivors sit in arbitrary array order, not heap order.
+  std::make_heap(entries_.begin(), entries_.end(), later);
+  std::sort(expired.begin(), expired.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::vector<Request> out;
+  out.reserve(expired.size());
+  for (Entry& e : expired) {
+    out.push_back(std::move(e.req));
+  }
+  return out;
+}
+
+RequestQueue::RequestQueue(std::int64_t capacity, SchedulerConfig scheduler)
+    : items_(scheduler), capacity_(capacity) {
   check(capacity >= 0, "RequestQueue: negative capacity");
 }
 
 bool RequestQueue::push(Request r) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [&] {
-    return closed_ || capacity_ == 0 ||
-           static_cast<std::int64_t>(items_.size()) < capacity_;
+    return closed_ || capacity_ == 0 || items_.size() < capacity_;
   });
   if (closed_) {
     return false;
   }
-  items_.push_back(r);
+  items_.push(r);
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -29,8 +111,7 @@ bool RequestQueue::pop(Request& out) {
   if (items_.empty()) {
     return false;  // closed and drained
   }
-  out = items_.front();
-  items_.pop_front();
+  out = items_.pop();
   lock.unlock();
   not_full_.notify_one();
   return true;
@@ -41,8 +122,7 @@ bool RequestQueue::try_pop(Request& out) {
   if (items_.empty()) {
     return false;
   }
-  out = items_.front();
-  items_.pop_front();
+  out = items_.pop();
   lock.unlock();
   not_full_.notify_one();
   return true;
@@ -64,7 +144,7 @@ bool RequestQueue::closed() const {
 
 std::int64_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<std::int64_t>(items_.size());
+  return items_.size();
 }
 
 }  // namespace rt3

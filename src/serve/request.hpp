@@ -1,5 +1,6 @@
-// Deadline-tagged inference requests and the MPMC queue that carries them
-// from producers (traffic sources, RPC front-ends) to the serving loop.
+// Deadline-tagged inference requests, the policy-ordered heap that ranks
+// them, and the MPMC queue that carries them from producers (traffic
+// sources, RPC front-ends) to the serving loop.
 //
 // Time in the serving subsystem is VIRTUAL and measured in milliseconds
 // from session start: requests carry their arrival and absolute deadline
@@ -10,8 +11,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
+#include <vector>
+
+#include "serve/policy.hpp"
 
 namespace rt3 {
 
@@ -23,17 +26,79 @@ struct Request {
   /// Absolute virtual deadline; a request completing after this counts as
   /// a deadline miss (the paper's timing constraint T, per request).
   double deadline_ms = 0.0;
+  /// Priority class, 0 = most urgent; only kEdfPriority looks at it.
+  std::int64_t priority = 0;
+};
+
+/// The policy's static scheduling key for one request (smaller = sooner);
+/// see policy.hpp for the aging-term derivation.
+double policy_key(const Request& r, const SchedulerConfig& config);
+
+/// Binary min-heap of requests ordered by (policy key, push sequence).
+///
+/// Push order is remembered via a sequence number stamped intrusively on
+/// each heap entry, which (a) makes kFifo pop in exact push order and
+/// (b) makes every tie-break deterministic regardless of heap internals.
+class RequestHeap {
+ public:
+  explicit RequestHeap(SchedulerConfig config = {});
+
+  void push(const Request& r);
+
+  /// Policy-minimal pending request; requires !empty().
+  const Request& peek() const;
+  Request pop();
+
+  bool empty() const { return entries_.empty(); }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  void clear();
+
+  /// Earliest arrival among pending requests (+infinity when empty).
+  /// O(n) scan: under non-FIFO policies the oldest request is not the
+  /// heap head, and pending depths here are tiny relative to batch work.
+  double min_arrival_ms() const;
+
+  /// Removes every pending request whose deadline is <= now_ms; returned
+  /// in push order (matching the historical deque scan).
+  std::vector<Request> extract_expired(double now_ms);
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    double key = 0.0;
+    std::int64_t seq = 0;
+    Request req;
+  };
+  /// std::*_heap comparator: (key, seq) is a TOTAL order, so the popped
+  /// minimum — and therefore the observable pop sequence — is independent
+  /// of the heap's internal array layout.
+  static bool later(const Entry& a, const Entry& b);
+
+  SchedulerConfig config_;
+  std::vector<Entry> entries_;
+  std::int64_t next_seq_ = 0;
 };
 
 /// Blocking multi-producer/multi-consumer queue of requests.
 ///
-/// Producers push concurrently; consumers pop concurrently.  close()
-/// wakes everyone: pushes are rejected afterwards, pops drain what is
-/// left and then return false.  capacity 0 means unbounded; a bounded
+/// Producers push concurrently; consumers pop concurrently.  Pop order is
+/// policy-driven (a RequestHeap under the lock): FIFO by default, EDF or
+/// EDF-with-priority-classes when constructed with that SchedulerConfig.
+/// Note the Server's deterministic session path (serve_queue) re-sorts
+/// its drained pops by arrival timestamp and applies the policy inside
+/// the Batcher instead, so queue-level ordering matters to DIRECT
+/// consumers — front-ends popping requests themselves, dispatchers
+/// feeding multiple servers — not to serve_queue().
+/// close() wakes everyone: pushes are rejected afterwards, pops drain what
+/// is left and then return false.  capacity 0 means unbounded; a bounded
 /// queue blocks producers when full (back-pressure).
 class RequestQueue {
  public:
-  explicit RequestQueue(std::int64_t capacity = 0);
+  explicit RequestQueue(std::int64_t capacity = 0,
+                        SchedulerConfig scheduler = {});
 
   /// Blocks while a bounded queue is full; returns false iff closed.
   bool push(Request r);
@@ -48,12 +113,13 @@ class RequestQueue {
   void close();
   bool closed() const;
   std::int64_t size() const;
+  const SchedulerConfig& scheduler() const { return items_.config(); }
 
  private:
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<Request> items_;
+  RequestHeap items_;
   std::int64_t capacity_;
   bool closed_ = false;
 };

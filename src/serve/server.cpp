@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "serve/policy.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace rt3 {
@@ -22,7 +23,12 @@ Server::Server(ServerConfig config, VfTable table, Governor governor,
       battery_(config.battery_capacity_mj) {
   check(sparsities_.size() == governor_.levels().size(),
         "Server: one sparsity per governor level required");
-  Batcher policy_probe(config_.batch);  // reject a bad policy up front
+  check(config_.governor_margin >= 0.0 && config_.governor_margin < 1.0,
+        "Server: governor_margin out of [0, 1)");
+  check(config_.governor_shrink_batch >= 1,
+        "Server: governor_shrink_batch must be >= 1");
+  Batcher policy_probe(config_.batch,
+                       config_.scheduler);  // reject a bad policy up front
   std::vector<double> freqs;
   std::vector<double> effective_sparsities;
   for (std::size_t i = 0; i < governor_.levels().size(); ++i) {
@@ -80,13 +86,18 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
   ServerStats stats;
   stats.submitted = static_cast<std::int64_t>(schedule.size());
   stats.backend = backend_->name();
+  stats.policy = scheduling_policy_name(config_.scheduler.policy);
   stats.runs_per_level.assign(governor_.levels().size(), 0.0);
   battery_.recharge();
-  Batcher batcher(config_.batch);
+  Batcher batcher(config_.batch, config_.scheduler);
 
   const std::int64_t n = stats.submitted;
   std::int64_t next = 0;   // next schedule index to admit
   std::int64_t active = -1;  // current governor-level position
+  // Drain-then-switch lag of the next switch: set when a batch's energy
+  // drain crosses a governor threshold (interpolated inside the batch),
+  // consumed when the switch fires at the following batch boundary.
+  double pending_switch_lag = 0.0;
   double now = 0.0;
 
   while (next < n || batcher.pending() > 0) {
@@ -116,6 +127,9 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
         ++stats.switches;
         now += switch_ms;
         stats.switch_ms_total += switch_ms;
+        stats.switch_ms.push_back(switch_ms);
+        stats.switch_lag_ms.push_back(pending_switch_lag);
+        pending_switch_lag = 0.0;
       } else if (config_.software_reconfig && engine_ != nullptr) {
         // Initial activation: free at t = 0.
         engine_swap_ms = engine_->switch_to(pos).plan_swap_wall_ms;
@@ -128,6 +142,21 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       stats.plan_swap_ms_total += swap_ms;
       active = pos;
       continue;  // re-read the fraction in case the switch drained it dry
+    }
+
+    // Governor-aware batching: close enough to the next step-down
+    // threshold, shrink the batch cap so in-flight work — and therefore
+    // the drain-then-switch point — comes sooner.  On the last ladder
+    // level there is no switch left to hasten (next_step_down is 0), so
+    // the full cap stays and batch amortization is preserved exactly
+    // when charge is scarcest.
+    if (config_.governor_margin > 0.0) {
+      const double fraction = battery_.fraction();
+      const double threshold = governor_.next_step_down(fraction);
+      const bool near_switch =
+          threshold > 0.0 && fraction - threshold <= config_.governor_margin;
+      batcher.set_batch_cap(near_switch ? config_.governor_shrink_batch
+                                        : config_.batch.max_batch_size);
     }
 
     // Admit everything that has arrived by now.
@@ -169,6 +198,7 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     const VfLevel& level =
         table_.level(governor_.levels()[static_cast<std::size_t>(pos)]);
     const double energy = power_.energy_mj(level, lat_ms);
+    const double frac_before = battery_.fraction();
     if (!battery_.drain(energy)) {
       // Not enough charge for this batch: the session ends here and the
       // unserved remainder is accounted as dropped.
@@ -176,11 +206,24 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
                        batcher.pending() + (n - next);
       break;
     }
+    // Did this batch's drain cross a governor threshold?  If so the
+    // switch can only fire at the batch boundary: interpolate the
+    // crossing inside the (linear) drain and remember the lag — this is
+    // the drain-then-switch delay governor-aware batching shrinks.
+    const double frac_after = battery_.fraction();
+    if (frac_before > frac_after && level_position(frac_after) != pos) {
+      const double threshold = governor_.next_step_down(frac_before);
+      pending_switch_lag =
+          lat_ms * (threshold - frac_after) / (frac_before - frac_after);
+    }
     const double end = now + lat_ms;
     for (const Request& r : batch) {
       stats.latency_ms.push_back(end - r.arrival_ms);
+      stats.ensure_class(r.priority);
+      ++stats.completed_per_class[static_cast<std::size_t>(r.priority)];
       if (end > r.deadline_ms) {
         ++stats.deadline_misses;
+        ++stats.misses_per_class[static_cast<std::size_t>(r.priority)];
       }
     }
     stats.energy_used_mj += energy;

@@ -37,6 +37,9 @@ namespace rt3 {
 struct ServerConfig {
   double battery_capacity_mj = 5e4;
   BatchPolicy batch;
+  /// Batch-composition order: FIFO (the historical behaviour, default),
+  /// EDF, or EDF with priority classes + aging (see serve/policy.hpp).
+  SchedulerConfig scheduler;
   /// When false, only the V/F level changes with the battery (the paper's
   /// E2 baseline): the level-0 sub-model runs everywhere and no switch
   /// cost is paid.
@@ -50,6 +53,14 @@ struct ServerConfig {
   /// Load shedding: drop a request once its deadline is already blown,
   /// before it occupies a batch slot (counted in ServerStats::shed).
   bool shed_expired = false;
+  /// Governor-aware batching: while the battery fraction sits within this
+  /// margin above the governor's next step-down threshold, batches are
+  /// capped at governor_shrink_batch so the in-flight work drains — and
+  /// the drain-then-switch point arrives — sooner.  0 disables.
+  double governor_margin = 0.0;
+  /// Batch cap applied inside the governor margin (clamped to
+  /// [1, batch.max_batch_size]).
+  std::int64_t governor_shrink_batch = 1;
 };
 
 /// Called after every executed batch: the batch, the governor-level

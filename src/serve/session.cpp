@@ -56,6 +56,9 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
   ServerConfig scfg;
   scfg.battery_capacity_mj = config.battery_capacity_mj;
   scfg.batch = config.batch;
+  scfg.scheduler = config.scheduler;
+  scfg.governor_margin = config.governor_margin;
+  scfg.governor_shrink_batch = config.governor_shrink_batch;
   scfg.software_reconfig = config.software_reconfig;
   scfg.shed_expired = config.shed_expired;
   scfg.exec_mode =

@@ -42,6 +42,13 @@ struct ServeSessionConfig {
   /// costs ~B*T; max_batch_size 2 keeps batch latency inside a ~350 ms
   /// deadline slack while still amortizing the fixed runtime cost.
   BatchPolicy batch{2, 20.0};
+  /// Batch-composition order (fifo / edf / edf-prio; see serve/policy.hpp).
+  SchedulerConfig scheduler;
+  /// Governor-aware batching margin (battery fraction above the next
+  /// step-down threshold inside which batches shrink); 0 disables.
+  double governor_margin = 0.0;
+  /// Batch cap applied inside the governor margin.
+  std::int64_t governor_shrink_batch = 1;
   /// false = hardware-only baseline: fixed sub-model, no engine, kBlock.
   bool software_reconfig = true;
   /// analytic = modeled batch latency (historical path); measured = the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -39,6 +40,15 @@ LatencyTail latency_tail(std::vector<double> xs) {
 
 }  // namespace
 
+void ServerStats::ensure_class(std::int64_t priority_class) {
+  check(priority_class >= 0, "ServerStats: negative priority class");
+  const auto need = static_cast<std::size_t>(priority_class) + 1;
+  if (completed_per_class.size() < need) {
+    completed_per_class.resize(need, 0);
+    misses_per_class.resize(need, 0);
+  }
+}
+
 double ServerStats::throughput_rps() const {
   if (sim_end_ms <= 0.0) {
     return 0.0;
@@ -51,6 +61,17 @@ double ServerStats::miss_rate() const {
     return 0.0;
   }
   return static_cast<double>(deadline_misses) / static_cast<double>(completed);
+}
+
+double ServerStats::class_miss_rate(std::int64_t priority_class) const {
+  const auto i = static_cast<std::size_t>(priority_class);
+  check(priority_class >= 0 && i < completed_per_class.size(),
+        "ServerStats: priority class out of range");
+  if (completed_per_class[i] == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(misses_per_class[i]) /
+         static_cast<double>(completed_per_class[i]);
 }
 
 double ServerStats::mean_batch_size() const {
@@ -68,11 +89,20 @@ double ServerStats::latency_percentile(double p) const {
   return percentile(latency_ms, p);
 }
 
+double ServerStats::switch_percentile(double p) const {
+  return percentile(switch_ms, p);
+}
+
+double ServerStats::switch_lag_percentile(double p) const {
+  return percentile(switch_lag_ms, p);
+}
+
 std::string ServerStats::summary() const {
   const LatencyTail tail = latency_tail(latency_ms);
   std::ostringstream os;
   os << "  backend          : " << (backend.empty() ? "analytic" : backend)
      << "\n"
+     << "  policy           : " << (policy.empty() ? "fifo" : policy) << "\n"
      << "  submitted        : " << submitted << "\n"
      << "  completed        : " << completed << "\n"
      << "  dropped          : " << dropped << "\n"
@@ -80,15 +110,24 @@ std::string ServerStats::summary() const {
      << "  batches          : " << batches << " (mean size "
      << fmt_f(mean_batch_size(), 2) << ")\n"
      << "  switches         : " << switches << " ("
-     << fmt_f(switch_ms_total, 2) << " ms total)\n"
+     << fmt_f(switch_ms_total, 2) << " ms total, drain lag p99 "
+     << fmt_f(switch_lag_percentile(99.0), 2) << " ms)\n"
      << "  plan swaps       : " << plan_swap_ms.size() << " ("
      << fmt_f(plan_swap_ms_total, 4) << " ms wall total)\n"
      << "  throughput       : " << fmt_f(throughput_rps(), 1) << " req/s\n"
      << "  latency p50/p95/p99 : " << fmt_f(tail.p50, 1) << " / "
      << fmt_f(tail.p95, 1) << " / " << fmt_f(tail.p99, 1) << " ms\n"
      << "  deadline misses  : " << deadline_misses << " ("
-     << fmt_pct(miss_rate()) << ")\n"
-     << "  session length   : " << fmt_f(sim_end_ms / 1000.0, 1)
+     << fmt_pct(miss_rate()) << ")\n";
+  if (completed_per_class.size() > 1) {
+    os << "  miss rate by class : ";
+    for (std::size_t c = 0; c < completed_per_class.size(); ++c) {
+      os << (c ? "  " : "") << "c" << c << " "
+         << fmt_pct(class_miss_rate(static_cast<std::int64_t>(c)));
+    }
+    os << "\n";
+  }
+  os << "  session length   : " << fmt_f(sim_end_ms / 1000.0, 1)
      << " s virtual (busy " << fmt_f(busy_ms / 1000.0, 1) << " s)\n"
      << "  kernel wall time : " << fmt_f(kernel_wall_ms_total, 2) << " ms\n"
      << "  energy used      : " << fmt_f(energy_used_mj, 0) << " mJ\n"
@@ -106,6 +145,7 @@ std::string ServerStats::to_json() const {
   os << "{"
      << "\"backend\": \"" << (backend.empty() ? "analytic" : backend)
      << "\", "
+     << "\"policy\": \"" << (policy.empty() ? "fifo" : policy) << "\", "
      << "\"submitted\": " << submitted << ", "
      << "\"completed\": " << completed << ", "
      << "\"dropped\": " << dropped << ", "
@@ -114,6 +154,10 @@ std::string ServerStats::to_json() const {
      << "\"mean_batch_size\": " << mean_batch_size() << ", "
      << "\"switches\": " << switches << ", "
      << "\"switch_ms_total\": " << switch_ms_total << ", "
+     << "\"switch_p50_ms\": " << switch_percentile(50.0) << ", "
+     << "\"switch_p99_ms\": " << switch_percentile(99.0) << ", "
+     << "\"switch_lag_p50_ms\": " << switch_lag_percentile(50.0) << ", "
+     << "\"switch_lag_p99_ms\": " << switch_lag_percentile(99.0) << ", "
      << "\"kernel_wall_ms_total\": " << kernel_wall_ms_total << ", "
      << "\"plan_swap_ms_total\": " << plan_swap_ms_total << ", "
      << "\"plan_swaps\": " << plan_swap_ms.size() << ", "
@@ -123,6 +167,16 @@ std::string ServerStats::to_json() const {
      << "\"p99_ms\": " << tail.p99 << ", "
      << "\"deadline_misses\": " << deadline_misses << ", "
      << "\"miss_rate\": " << miss_rate() << ", "
+     << "\"miss_rate_per_class\": [";
+  for (std::size_t c = 0; c < completed_per_class.size(); ++c) {
+    os << (c ? ", " : "") << class_miss_rate(static_cast<std::int64_t>(c));
+  }
+  os << "], "
+     << "\"completed_per_class\": [";
+  for (std::size_t c = 0; c < completed_per_class.size(); ++c) {
+    os << (c ? ", " : "") << completed_per_class[c];
+  }
+  os << "], "
      << "\"sim_end_ms\": " << sim_end_ms << ", "
      << "\"busy_ms\": " << busy_ms << ", "
      << "\"energy_used_mj\": " << energy_used_mj << ", "

@@ -25,6 +25,8 @@ struct ServerStats {
 
   /// Execution backend the session ran on ("analytic" / "measured").
   std::string backend;
+  /// Scheduling policy the session ran under ("fifo" / "edf" / "edf-prio").
+  std::string policy;
 
   /// Virtual time when the last batch finished.
   double sim_end_ms = 0.0;
@@ -32,6 +34,17 @@ struct ServerStats {
   double busy_ms = 0.0;
   /// Virtual time spent inside pattern-set switches.
   double switch_ms_total = 0.0;
+  /// Per-switch modeled latency (virtual ms), one entry per pattern-set
+  /// switch.  NOTE: this is the reconfiguration duration itself, set by
+  /// the pattern-set storage size — it does not respond to scheduling or
+  /// batching; switch_lag_ms is the governor-sensitive tail.
+  std::vector<double> switch_ms;
+  /// Drain-then-switch lag (virtual ms): for each switch, the time from
+  /// the battery crossing the governor threshold (interpolated inside the
+  /// batch that crossed it) to the batch boundary where the switch could
+  /// actually run.  THIS is the tail governor-aware batching shrinks —
+  /// smaller batches near the threshold mean the boundary lands sooner.
+  std::vector<double> switch_lag_ms;
   double energy_used_mj = 0.0;
   /// Host wall time spent inside backend kernels (0 on the analytic path).
   double kernel_wall_ms_total = 0.0;
@@ -45,14 +58,28 @@ struct ServerStats {
   /// Completed requests per governor-level position (fast -> slow).
   std::vector<double> runs_per_level;
   std::vector<std::int64_t> batch_sizes;
+  /// Per-priority-class accounting (index = class, 0 = most urgent); sized
+  /// lazily to cover every class seen, so single-class sessions carry one
+  /// entry and the summary stays uncluttered.
+  std::vector<std::int64_t> completed_per_class;
+  std::vector<std::int64_t> misses_per_class;
+
+  /// Grows the per-class vectors to cover `priority_class`.
+  void ensure_class(std::int64_t priority_class);
 
   /// Completed requests per virtual second of session time.
   double throughput_rps() const;
   /// Deadline misses over completed requests (0 when none completed).
   double miss_rate() const;
+  /// Deadline misses over completed requests within one priority class.
+  double class_miss_rate(std::int64_t priority_class) const;
   double mean_batch_size() const;
   /// p-th latency percentile over completed requests.
   double latency_percentile(double p) const;
+  /// p-th percentile of per-switch modeled latency (0 when no switches).
+  double switch_percentile(double p) const;
+  /// p-th percentile of drain-then-switch lag (0 when no switches).
+  double switch_lag_percentile(double p) const;
 
   /// Multi-line human-readable summary.
   std::string summary() const;

@@ -91,8 +91,22 @@ std::vector<Request> generate_traffic(const TrafficConfig& config) {
   check(config.burst_factor >= 1.0, "generate_traffic: burst_factor < 1");
   check(config.diurnal_min_factor > 0.0 && config.diurnal_min_factor <= 1.0,
         "generate_traffic: diurnal_min_factor out of (0, 1]");
+  check(config.priority_classes >= 1,
+        "generate_traffic: priority_classes must be >= 1");
+  check(config.deadline_slack_jitter >= 0.0 &&
+            config.deadline_slack_jitter < 1.0,
+        "generate_traffic: deadline_slack_jitter out of [0, 1)");
+  check(config.tight_fraction >= 0.0 && config.tight_fraction <= 1.0,
+        "generate_traffic: tight_fraction out of [0, 1]");
+  check(config.tight_slack_ms > 0.0,
+        "generate_traffic: tight_slack_ms must be > 0");
 
   Rng rng(config.seed);
+  // Priority classes and slack jitter draw from independent streams so
+  // tagging requests never perturbs the arrival process — schedules stay
+  // bitwise-identical in arrival for any classes / jitter setting.
+  Rng prio_rng(config.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  Rng slack_rng(config.seed ^ 0x165667b19e3779f9ULL);
   const double base_per_ms = config.rate_rps / 1000.0;
   const double peak_per_ms = base_per_ms * peak_factor(config);
 
@@ -113,7 +127,19 @@ std::vector<Request> generate_traffic(const TrafficConfig& config) {
       Request r;
       r.id = next_id++;
       r.arrival_ms = t;
-      r.deadline_ms = t + config.deadline_slack_ms;
+      double slack = config.deadline_slack_ms;
+      if (config.tight_fraction > 0.0 &&
+          slack_rng.bernoulli(config.tight_fraction)) {
+        slack = config.tight_slack_ms;
+      }
+      if (config.deadline_slack_jitter > 0.0) {
+        slack *= slack_rng.uniform(1.0 - config.deadline_slack_jitter,
+                                   1.0 + config.deadline_slack_jitter);
+      }
+      r.deadline_ms = t + slack;
+      if (config.priority_classes > 1) {
+        r.priority = prio_rng.uniform_int(config.priority_classes);
+      }
       schedule.push_back(r);
     }
   }

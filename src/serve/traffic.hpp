@@ -33,6 +33,22 @@ struct TrafficConfig {
   double rate_rps = 20.0;
   /// Per-request latency budget: deadline = arrival + slack.
   double deadline_slack_ms = 250.0;
+  /// Heterogeneous deadlines: each request's slack is drawn uniformly
+  /// from [slack * (1 - jitter), slack * (1 + jitter)], from an rng stream
+  /// independent of the arrival process.  0 keeps the historical uniform
+  /// slack (and the deadline stream bitwise-identical).  Mixed tight/loose
+  /// deadlines are what make deadline-aware (EDF) ordering differ from
+  /// FIFO: with one uniform slack, deadline order IS arrival order.
+  double deadline_slack_jitter = 0.0;
+  /// Mixed interactive/background workload: this fraction of requests is
+  /// "interactive" and uses tight_slack_ms as its base slack instead of
+  /// deadline_slack_ms (jitter applies to either).  This bimodal mix is
+  /// the regime where EDF decisively beats FIFO: background requests can
+  /// absorb burst queueing delay that would blow interactive deadlines,
+  /// so deadline order saves the tight ones without dooming the loose.
+  /// 0 disables (single-slack traffic).
+  double tight_fraction = 0.0;
+  double tight_slack_ms = 150.0;
   /// kBurst: on/off period lengths and the on-period rate multiplier
   /// (off periods run at 1/10 of the base rate, not zero, so the tail of
   /// the queue is still exercised between bursts).
@@ -41,6 +57,11 @@ struct TrafficConfig {
   double burst_factor = 4.0;
   /// kDiurnal: trough rate as a fraction of the peak.
   double diurnal_min_factor = 0.2;
+  /// Number of priority classes (>= 1): each request draws a class
+  /// uniformly from [0, priority_classes), from an rng stream independent
+  /// of the arrival process — so the arrival schedule is bitwise-identical
+  /// for any class count, and 1 keeps every request at class 0.
+  std::int64_t priority_classes = 1;
   std::uint64_t seed = 7;
 };
 

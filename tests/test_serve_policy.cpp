@@ -1,0 +1,388 @@
+// Scheduling-policy tests: EDF ordering and tie-break determinism in the
+// RequestHeap / RequestQueue / Batcher, the priority-class starvation
+// bound under sustained high-priority load, governor-aware batch
+// shrinking, and bitwise-FIFO equivalence of the heap path with the
+// historical arrival-order behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/batcher.hpp"
+#include "serve/policy.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/traffic.hpp"
+
+namespace rt3 {
+namespace {
+
+Request make_request(std::int64_t id, double arrival_ms,
+                     double deadline_ms = 1e12, std::int64_t priority = 0) {
+  Request r;
+  r.id = id;
+  r.arrival_ms = arrival_ms;
+  r.deadline_ms = deadline_ms;
+  r.priority = priority;
+  return r;
+}
+
+SchedulerConfig edf() {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulingPolicy::kEdf;
+  return cfg;
+}
+
+SchedulerConfig edf_prio(double weight = 400.0, double aging = 0.5) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedulingPolicy::kEdfPriority;
+  cfg.prio_weight_ms = weight;
+  cfg.aging_ms_per_ms = aging;
+  return cfg;
+}
+
+TEST(Policy, NamesRoundTrip) {
+  for (SchedulingPolicy p :
+       {SchedulingPolicy::kFifo, SchedulingPolicy::kEdf,
+        SchedulingPolicy::kEdfPriority}) {
+    EXPECT_EQ(scheduling_policy_from_name(scheduling_policy_name(p)), p);
+  }
+  EXPECT_THROW(scheduling_policy_from_name("lifo"), CheckError);
+}
+
+TEST(RequestHeap, EdfPopsEarliestDeadlineFirst) {
+  RequestHeap heap(edf());
+  heap.push(make_request(0, 0.0, 300.0));
+  heap.push(make_request(1, 1.0, 100.0));
+  heap.push(make_request(2, 2.0, 200.0));
+  heap.push(make_request(3, 3.0, 50.0));
+  EXPECT_EQ(heap.pop().id, 3);
+  EXPECT_EQ(heap.pop().id, 1);
+  EXPECT_EQ(heap.pop().id, 2);
+  EXPECT_EQ(heap.pop().id, 0);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_THROW(heap.pop(), CheckError);
+}
+
+TEST(RequestHeap, EqualDeadlinesBreakTiesByPushOrder) {
+  // Deterministic tie-break: equal keys pop in push order, regardless of
+  // the heap's internal array shuffling.
+  RequestHeap heap(edf());
+  for (std::int64_t id = 0; id < 16; ++id) {
+    heap.push(make_request(id, static_cast<double>(id), 500.0));
+  }
+  for (std::int64_t id = 0; id < 16; ++id) {
+    EXPECT_EQ(heap.pop().id, id);
+  }
+}
+
+TEST(RequestHeap, FifoPolicyPopsInExactPushOrder) {
+  // Push deliberately deadline-shuffled requests: FIFO must ignore them.
+  RequestHeap heap;  // default SchedulerConfig = kFifo
+  heap.push(make_request(7, 0.0, 900.0));
+  heap.push(make_request(3, 1.0, 100.0));
+  heap.push(make_request(5, 2.0, 500.0));
+  EXPECT_EQ(heap.pop().id, 7);
+  EXPECT_EQ(heap.pop().id, 3);
+  EXPECT_EQ(heap.pop().id, 5);
+}
+
+TEST(RequestHeap, MinArrivalAndExpiryScanTheWholeHeap) {
+  RequestHeap heap(edf());
+  EXPECT_TRUE(std::isinf(heap.min_arrival_ms()));
+  heap.push(make_request(0, 10.0, 800.0));
+  heap.push(make_request(1, 5.0, 900.0));   // oldest but latest deadline
+  heap.push(make_request(2, 20.0, 100.0));  // heap head
+  EXPECT_DOUBLE_EQ(heap.min_arrival_ms(), 5.0);
+  EXPECT_EQ(heap.peek().id, 2);
+  const auto expired = heap.extract_expired(150.0);
+  ASSERT_EQ(expired.size(), 1U);
+  EXPECT_EQ(expired[0].id, 2);
+  EXPECT_EQ(heap.size(), 2);
+  EXPECT_EQ(heap.peek().id, 0);  // heap property restored after removal
+}
+
+TEST(RequestHeap, PriorityClassesOutrankLaterDeadlines) {
+  // Class 0 with a later deadline beats class 1 with an earlier one as
+  // long as the deadline gap is inside prio_weight_ms.
+  RequestHeap heap(edf_prio(/*weight=*/400.0, /*aging=*/0.0));
+  heap.push(make_request(0, 0.0, 300.0, /*priority=*/1));
+  heap.push(make_request(1, 0.0, 500.0, /*priority=*/0));
+  EXPECT_EQ(heap.pop().id, 1);  // 500 + 0 < 300 + 400
+  RequestHeap wide_gap(edf_prio(/*weight=*/400.0, /*aging=*/0.0));
+  wide_gap.push(make_request(2, 0.0, 300.0, /*priority=*/1));
+  wide_gap.push(make_request(3, 0.0, 800.0, /*priority=*/0));
+  EXPECT_EQ(wide_gap.pop().id, 2);  // 800 + 0 > 300 + 400: gap too large
+}
+
+TEST(RequestQueue, EdfPopOrderIsDeadlineDriven) {
+  RequestQueue queue(0, edf());
+  queue.push(make_request(0, 0.0, 300.0));
+  queue.push(make_request(1, 1.0, 100.0));
+  queue.push(make_request(2, 2.0, 200.0));
+  Request out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.id, 1);
+  queue.close();
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out.id, 2);
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out.id, 0);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(Batcher, EdfComposesBatchFromDeadlineHead) {
+  Batcher batcher(BatchPolicy{2, 1e9}, edf());
+  batcher.push(make_request(0, 0.0, 900.0));
+  batcher.push(make_request(1, 1.0, 100.0));
+  batcher.push(make_request(2, 2.0, 500.0));
+  // max-wait still keys off the OLDEST pending arrival, not the EDF head.
+  EXPECT_DOUBLE_EQ(batcher.release_at_ms(), 0.0 + 1e9);
+  ASSERT_TRUE(batcher.ready(2.0));  // size trigger
+  const auto batch = batcher.pop_batch(2.0);
+  ASSERT_EQ(batch.size(), 2U);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 2);
+  EXPECT_EQ(batcher.pending(), 1);
+}
+
+TEST(Batcher, FifoPathIsBitwiseIdenticalToArrivalOrder) {
+  // The heap-backed FIFO batcher must reproduce the historical deque
+  // behaviour exactly: pop order, release times, shed order.
+  Batcher batcher(BatchPolicy{4, 25.0});
+  batcher.push(make_request(0, 0.0, 50.0));
+  batcher.push(make_request(1, 5.0, 20.0));  // earlier deadline, later pop
+  batcher.push(make_request(2, 10.0, 90.0));
+  EXPECT_DOUBLE_EQ(batcher.release_at_ms(), 25.0);
+  EXPECT_FALSE(batcher.ready(24.9));
+  EXPECT_TRUE(batcher.ready(25.0));
+  const auto batch = batcher.pop_batch(25.0);
+  ASSERT_EQ(batch.size(), 3U);
+  EXPECT_EQ(batch[0].id, 0);
+  EXPECT_EQ(batch[1].id, 1);
+  EXPECT_EQ(batch[2].id, 2);
+}
+
+TEST(Batcher, BatchCapShrinksAndRestores) {
+  Batcher batcher(BatchPolicy{4, 1e9});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    batcher.push(make_request(i, static_cast<double>(i)));
+  }
+  batcher.set_batch_cap(1);
+  EXPECT_EQ(batcher.batch_cap(), 1);
+  EXPECT_TRUE(batcher.ready(3.0));  // one pending >= cap of 1
+  EXPECT_EQ(batcher.pop_batch(3.0).size(), 1U);
+  batcher.set_batch_cap(99);  // clamped to max_batch_size
+  EXPECT_EQ(batcher.batch_cap(), 4);
+  EXPECT_EQ(batcher.pop_batch(3.0, /*force=*/true).size(), 3U);
+}
+
+TEST(Server, FifoPolicyReproducesPrePolicyBehaviourBitwise) {
+  // The policy seam must be invisible under --policy=fifo: identical
+  // stats, bit for bit, to the same server run (which exercised the
+  // historical path before this PR; values asserted via determinism).
+  const LatencyModel latency = paper_calibrated_latency();
+  const auto run = [&](SchedulerConfig scheduler) {
+    ServerConfig cfg;
+    cfg.battery_capacity_mj = 18'000.0;
+    cfg.batch = BatchPolicy{4, 30.0};
+    cfg.scheduler = scheduler;
+    Server server(cfg, VfTable::odroid_xu3_a7(),
+                  Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
+                  latency, ModelSpec::paper_transformer(),
+                  paper_ladder_sparsities(latency, 115.0));
+    TrafficConfig tcfg;
+    tcfg.scenario = TrafficScenario::kBurst;
+    tcfg.duration_ms = 30'000.0;
+    tcfg.rate_rps = 6.0;
+    return server.serve(generate_traffic(tcfg));
+  };
+  const ServerStats fifo = run(SchedulerConfig{});
+  EXPECT_EQ(fifo.policy, "fifo");
+  // All requests with one deadline slack arriving in order: EDF pop order
+  // equals FIFO pop order here, so the two policies must agree exactly —
+  // a strong check that the heap machinery itself adds no perturbation.
+  const ServerStats as_edf = run(edf());
+  EXPECT_EQ(as_edf.completed, fifo.completed);
+  EXPECT_EQ(as_edf.batches, fifo.batches);
+  EXPECT_EQ(as_edf.deadline_misses, fifo.deadline_misses);
+  EXPECT_DOUBLE_EQ(as_edf.sim_end_ms, fifo.sim_end_ms);
+  EXPECT_DOUBLE_EQ(as_edf.energy_used_mj, fifo.energy_used_mj);
+}
+
+TEST(Server, EdfBeatsFifoOnBurstMissRate) {
+  // The tentpole claim: under burst traffic with a mixed interactive /
+  // background workload (tight/loose deadline mix — with one uniform
+  // slack, deadline order IS arrival order and the policies coincide),
+  // EDF reduces the deadline-miss rate versus FIFO on an otherwise
+  // identical session: background requests absorb the burst queueing
+  // delay that would blow the interactive deadlines.
+  const auto run = [&](SchedulingPolicy policy) {
+    ServeSessionConfig scfg;
+    scfg.scheduler.policy = policy;
+    TrafficConfig tcfg;
+    tcfg.scenario = TrafficScenario::kBurst;
+    tcfg.rate_rps = 3.0;
+    tcfg.duration_ms = 60'000.0;
+    tcfg.deadline_slack_ms = 1'000.0;
+    tcfg.tight_fraction = 0.3;
+    tcfg.tight_slack_ms = 350.0;
+    ServeSession session(scfg);
+    return session.server().serve(generate_traffic(tcfg));
+  };
+  const ServerStats fifo = run(SchedulingPolicy::kFifo);
+  const ServerStats edf_stats = run(SchedulingPolicy::kEdf);
+  EXPECT_EQ(edf_stats.submitted, fifo.submitted);
+  EXPECT_LT(edf_stats.miss_rate(), fifo.miss_rate());
+}
+
+TEST(Server, PriorityClassesShiftMissesToLowClasses) {
+  ServeSessionConfig scfg;
+  scfg.scheduler = edf_prio();
+  TrafficConfig tcfg;
+  tcfg.scenario = TrafficScenario::kBurst;
+  tcfg.rate_rps = 3.0;
+  tcfg.duration_ms = 60'000.0;
+  tcfg.deadline_slack_ms = 350.0;
+  tcfg.priority_classes = 2;
+  ServeSession session(scfg);
+  const ServerStats stats = session.server().serve(generate_traffic(tcfg));
+  ASSERT_EQ(stats.completed_per_class.size(), 2U);
+  EXPECT_GT(stats.completed_per_class[0], 0);
+  EXPECT_GT(stats.completed_per_class[1], 0);
+  // Urgent class misses no more often than the background class.
+  EXPECT_LE(stats.class_miss_rate(0), stats.class_miss_rate(1));
+}
+
+TEST(RequestHeap, AgingBoundsStarvationUnderSustainedHighPriorityLoad) {
+  // A single class-1 request is pushed at t = 0 with deadline slack D,
+  // then class-0 requests keep arriving forever with the same slack.
+  // Static keys: old = D + weight + 0; a class-0 arrival at time t keys at
+  // t + D + aging * t.  The old request outranks every class-0 arrival
+  // with t * (1 + aging) > weight, so its delay behind fresh urgent work
+  // is bounded by weight / (1 + aging) — the anti-starvation guarantee.
+  const double weight = 400.0;
+  const double aging = 0.5;
+  const double slack = 300.0;
+  const double bound = weight / (1.0 + aging);
+  RequestHeap heap(edf_prio(weight, aging));
+  heap.push(make_request(0, 0.0, slack, /*priority=*/1));
+  // High-priority arrivals every 10 ms, well past the bound.
+  std::int64_t id = 1;
+  double popped_at = -1.0;
+  for (double t = 0.0; t <= 2.0 * bound; t += 10.0) {
+    heap.push(make_request(id++, t, t + slack, /*priority=*/0));
+    // Serve one request per tick (sustained load, server keeps up).
+    if (heap.pop().id == 0) {
+      popped_at = t;
+      break;
+    }
+  }
+  ASSERT_GE(popped_at, 0.0) << "class-1 request starved past twice the bound";
+  EXPECT_LE(popped_at, bound + 10.0);
+  // Control: with an enormous weight and no aging the same request IS
+  // starved across the whole window.
+  RequestHeap starving(edf_prio(1e9, 0.0));
+  starving.push(make_request(0, 0.0, slack, /*priority=*/1));
+  id = 1;
+  for (double t = 0.0; t <= 2.0 * bound; t += 10.0) {
+    starving.push(make_request(id++, t, t + slack, /*priority=*/0));
+    EXPECT_NE(starving.pop().id, 0);
+  }
+}
+
+TEST(Server, GovernorMarginShrinksBatchesNearSwitch) {
+  // Same overloaded session with and without governor-aware batching: the
+  // margin caps batches at 1 near each threshold, so batches formed just
+  // before a switch are smaller and strictly more batches run overall.
+  const auto run = [&](double margin) {
+    ServeSessionConfig scfg;
+    scfg.governor_margin = margin;
+    TrafficConfig tcfg;
+    tcfg.scenario = TrafficScenario::kSteady;
+    tcfg.rate_rps = 5.0;
+    tcfg.duration_ms = 60'000.0;
+    tcfg.deadline_slack_ms = 350.0;
+    ServeSession session(scfg);
+    return session.server().serve(generate_traffic(tcfg));
+  };
+  const ServerStats off = run(0.0);
+  const ServerStats on = run(0.10);
+  EXPECT_EQ(on.completed, off.completed);  // nothing lost either way
+  EXPECT_GT(on.batches, off.batches);      // shrunken batches near switches
+  EXPECT_LT(on.mean_batch_size(), off.mean_batch_size());
+  // Every batch launched inside the margin obeyed the shrunken cap, which
+  // is visible as runs of size-1 batches; outside the margin batching is
+  // unchanged, so SOME batch still hits the full cap.
+  std::int64_t full = 0;
+  for (std::int64_t b : on.batch_sizes) {
+    full += (b == 2) ? 1 : 0;
+  }
+  EXPECT_GT(full, 0);
+}
+
+TEST(Server, GovernorMarginCutsDrainThenSwitchLag) {
+  // At a rate where batches run full, the margin makes the batch that
+  // crosses a governor threshold a shrunken one, so the interpolated
+  // drain-then-switch lag (threshold crossing -> batch boundary) falls.
+  const auto run = [&](double margin) {
+    ServeSessionConfig scfg;
+    scfg.governor_margin = margin;
+    TrafficConfig tcfg;
+    tcfg.scenario = TrafficScenario::kSteady;
+    tcfg.rate_rps = 12.0;
+    tcfg.duration_ms = 60'000.0;
+    tcfg.deadline_slack_ms = 350.0;
+    ServeSession session(scfg);
+    return session.server().serve(generate_traffic(tcfg));
+  };
+  const ServerStats off = run(0.0);
+  const ServerStats on = run(0.10);
+  ASSERT_GE(off.switches, 2);
+  ASSERT_EQ(off.switch_lag_ms.size(),
+            static_cast<std::size_t>(off.switches));
+  EXPECT_GT(off.switch_lag_percentile(99.0), 0.0);
+  EXPECT_LT(on.switch_lag_percentile(99.0),
+            off.switch_lag_percentile(99.0));
+  // The modeled switch duration itself is timing-invariant: the margin
+  // must not change WHAT is switched, only WHEN.
+  EXPECT_DOUBLE_EQ(on.switch_percentile(99.0), off.switch_percentile(99.0));
+}
+
+TEST(Governor, NextStepDownMatchesLevelBoundaries) {
+  const Governor governor = Governor::equal_tranches({5, 3, 2});
+  // Thresholds at 2/3 and 1/3.
+  EXPECT_NEAR(governor.next_step_down(1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(governor.next_step_down(0.7), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(governor.next_step_down(0.5), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(governor.next_step_down(0.2), 0.0);  // last level
+  EXPECT_THROW(governor.next_step_down(1.5), CheckError);
+}
+
+TEST(Traffic, PriorityClassesAreDeterministicAndLeaveArrivalsUntouched) {
+  TrafficConfig cfg;
+  cfg.scenario = TrafficScenario::kBurst;
+  cfg.duration_ms = 20'000.0;
+  cfg.rate_rps = 30.0;
+  const auto base = generate_traffic(cfg);
+  cfg.priority_classes = 3;
+  const auto tagged = generate_traffic(cfg);
+  const auto tagged2 = generate_traffic(cfg);
+  ASSERT_EQ(base.size(), tagged.size());
+  bool saw_nonzero = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    // Same arrival process bit for bit; only the class tag differs.
+    EXPECT_DOUBLE_EQ(base[i].arrival_ms, tagged[i].arrival_ms);
+    EXPECT_EQ(base[i].priority, 0);
+    EXPECT_EQ(tagged[i].priority, tagged2[i].priority);
+    EXPECT_GE(tagged[i].priority, 0);
+    EXPECT_LT(tagged[i].priority, 3);
+    saw_nonzero = saw_nonzero || tagged[i].priority != 0;
+  }
+  EXPECT_TRUE(saw_nonzero);
+}
+
+}  // namespace
+}  // namespace rt3

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench_serve_traffic output.
+
+Compares a candidate BENCH_serve.json against the committed baseline and
+fails (exit 1) when, for any (scenario, policy) cell present in both
+files, the deadline-miss rate or the p99 latency regresses beyond the
+tolerance.  Each policy is compared against ITS OWN baseline cell, so the
+gate never punishes one policy for another's latency profile (EDF trades
+background p99 for interactive misses by design).
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json
+        [--miss-tolerance 0.02] [--p99-tolerance 0.10]
+
+--miss-tolerance is absolute (rate points): candidate miss_rate may
+exceed baseline by at most this much.  --p99-tolerance is relative:
+candidate p99_ms may exceed baseline * (1 + tolerance).  Both default to
+a small headroom over bit-deterministic equality so the gate survives a
+deliberate seed or toolchain change without being noisy.
+
+Exit codes: 0 ok, 1 perf regression, 2 usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    """Returns {(scenario, policy): {"miss_rate": x, "p99_ms": y}}."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        print(f"bench_compare: {path} has no 'scenarios' object",
+              file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for scenario, policies in scenarios.items():
+        if not isinstance(policies, dict):
+            print(f"bench_compare: scenario '{scenario}' in {path} is not "
+                  f"an object", file=sys.stderr)
+            sys.exit(2)
+        for policy, cell in policies.items():
+            try:
+                cells[(scenario, policy)] = {
+                    "miss_rate": float(cell["miss_rate"]),
+                    "p99_ms": float(cell["p99_ms"]),
+                }
+            except (KeyError, TypeError, ValueError) as e:
+                print(f"bench_compare: bad cell {scenario}/{policy} in "
+                      f"{path}: {e}", file=sys.stderr)
+                sys.exit(2)
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--miss-tolerance", type=float, default=0.02,
+                        help="absolute miss-rate headroom (default 0.02)")
+    parser.add_argument("--p99-tolerance", type=float, default=0.10,
+                        help="relative p99 headroom (default 0.10)")
+    args = parser.parse_args()
+
+    base = load_cells(args.baseline)
+    cand = load_cells(args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("bench_compare: no (scenario, policy) cells in common",
+              file=sys.stderr)
+        sys.exit(2)
+    missing = sorted(set(base) - set(cand))
+    if missing:
+        # A silently vanished cell is a gate hole, not a pass.
+        print(f"bench_compare: candidate is missing baseline cells: "
+              f"{missing}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for key in shared:
+        scenario, policy = key
+        b, c = base[key], cand[key]
+        miss_limit = b["miss_rate"] + args.miss_tolerance
+        p99_limit = b["p99_ms"] * (1.0 + args.p99_tolerance)
+        verdicts = []
+        if c["miss_rate"] > miss_limit:
+            verdicts.append(
+                f"miss_rate {c['miss_rate']:.4f} > limit {miss_limit:.4f} "
+                f"(baseline {b['miss_rate']:.4f})")
+        if c["p99_ms"] > p99_limit:
+            verdicts.append(
+                f"p99 {c['p99_ms']:.1f} ms > limit {p99_limit:.1f} ms "
+                f"(baseline {b['p99_ms']:.1f} ms)")
+        status = "FAIL" if verdicts else "ok"
+        detail = "; ".join(verdicts) if verdicts else (
+            f"miss {c['miss_rate']:.4f} (≤ {miss_limit:.4f}), "
+            f"p99 {c['p99_ms']:.1f} ms (≤ {p99_limit:.1f} ms)")
+        print(f"  [{status}] {scenario:8s} {policy:9s} {detail}")
+        if verdicts:
+            failures.append((key, verdicts))
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} cell(s) regressed beyond "
+              f"tolerance", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_compare: all {len(shared)} cells within tolerance")
+
+
+if __name__ == "__main__":
+    main()

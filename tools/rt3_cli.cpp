@@ -12,19 +12,33 @@
 //       steps the ladder down.  Flags:
 //         --scenario NAME    steady | burst | diurnal        (burst)
 //         --backend NAME     analytic | measured             (analytic)
+//         --policy NAME      fifo | edf | edf-prio           (fifo)
 //         --capacity MJ      battery budget                  (12000)
 //         --t MS             timing constraint / per-level
 //                            sparsity target                 (115)
 //         --rate RPS         mean request rate               (3)
 //         --duration MS      arrival-process length          (60000)
 //         --slack MS         per-request deadline slack      (350)
+//         --jitter F         slack jitter fraction: per-request slack
+//                            uniform in slack*(1 +- F)       (0)
+//         --tight-frac F     fraction of interactive requests whose base
+//                            slack is --tight-slack instead   (0)
+//         --tight-slack MS   interactive deadline slack      (150)
 //         --batch N          max batch size                  (2)
 //         --wait MS          max batch wait                  (20)
+//         --classes N        traffic priority classes        (1)
+//         --prio-weight MS   edf-prio key penalty per class  (400)
+//         --aging R          edf-prio anti-starvation rate   (0.5)
+//         --governor-margin F  battery-fraction margin above the next
+//                            step-down threshold inside which batches
+//                            shrink to --governor-batch      (0 = off)
+//         --governor-batch N batch cap inside the margin     (1)
 //         --threads N        measured-backend kernel threads (2)
 //         --shed             drop requests whose deadline is
 //                            already blown (load shedding)
 //         --producers N      concurrent producer threads     (2)
 //         --seed S           traffic seed                    (7)
+//       Flags also accept --flag=value form.
 //   rt3 levels                                        print the V/F ladder
 #include <cstring>
 #include <iostream>
@@ -35,6 +49,7 @@
 #include "core/pipeline.hpp"
 #include "exec/backend.hpp"
 #include "runtime/engine.hpp"
+#include "serve/policy.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "serve/traffic.hpp"
@@ -188,11 +203,23 @@ int cmd_serve(const std::vector<std::string>& args) {
   scfg.batch.max_wait_ms = arg_double(args, "--wait", 20.0);
   scfg.backend =
       exec_backend_from_name(arg_string(args, "--backend", "analytic"));
+  scfg.scheduler.policy =
+      scheduling_policy_from_name(arg_string(args, "--policy", "fifo"));
+  scfg.scheduler.prio_weight_ms = arg_double(args, "--prio-weight", 400.0);
+  scfg.scheduler.aging_ms_per_ms = arg_double(args, "--aging", 0.5);
+  scfg.governor_margin = arg_double(args, "--governor-margin", 0.0);
+  scfg.governor_shrink_batch =
+      static_cast<std::int64_t>(arg_double(args, "--governor-batch", 1));
   scfg.measured_threads =
       static_cast<std::int64_t>(arg_double(args, "--threads", 2));
   scfg.shed_expired = arg_present(args, "--shed");
 
   TrafficConfig tcfg;
+  tcfg.priority_classes =
+      static_cast<std::int64_t>(arg_double(args, "--classes", 1));
+  tcfg.deadline_slack_jitter = arg_double(args, "--jitter", 0.0);
+  tcfg.tight_fraction = arg_double(args, "--tight-frac", 0.0);
+  tcfg.tight_slack_ms = arg_double(args, "--tight-slack", 150.0);
   tcfg.scenario =
       traffic_scenario_from_name(arg_string(args, "--scenario", "burst"));
   tcfg.rate_rps = arg_double(args, "--rate", 3.0);
@@ -213,8 +240,15 @@ int cmd_serve(const std::vector<std::string>& args) {
             << scfg.batch.max_batch_size << ", wait <= "
             << fmt_f(scfg.batch.max_wait_ms, 0) << " ms, " << producers
             << " producer threads, " << exec_backend_name(scfg.backend)
-            << " backend" << (scfg.shed_expired ? ", shedding" : "")
-            << "\n\n";
+            << " backend, " << scheduling_policy_name(scfg.scheduler.policy)
+            << " policy" << (tcfg.priority_classes > 1
+                                 ? ", " + std::to_string(tcfg.priority_classes) +
+                                       " priority classes"
+                                 : "")
+            << (scfg.governor_margin > 0.0
+                    ? ", governor margin " + fmt_pct(scfg.governor_margin)
+                    : "")
+            << (scfg.shed_expired ? ", shedding" : "") << "\n\n";
   const ServerStats stats =
       serve_concurrent(session.server(), schedule, producers);
   std::cout << stats.summary();
@@ -254,9 +288,11 @@ int usage() {
       "  info     FILE                                  inspect a package\n"
       "  simulate [--capacity MJ] [--t MS]              discharge simulation\n"
       "  serve    [--scenario steady|burst|diurnal] [--backend analytic|measured]\n"
+      "           [--policy fifo|edf|edf-prio] [--classes N] [--prio-weight MS]\n"
+      "           [--aging R] [--governor-margin F] [--governor-batch N]\n"
       "           [--capacity MJ] [--t MS] [--rate RPS] [--duration MS]\n"
       "           [--slack MS] [--batch N] [--wait MS] [--threads N] [--shed]\n"
-      "           [--producers N] [--seed S]\n"
+      "           [--producers N] [--seed S]     (flags accept --flag=value too)\n"
       "                                                 battery-aware serving\n"
       "  levels                                         print the V/F ladder\n";
   return 2;
@@ -271,7 +307,15 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
-    args.emplace_back(argv[i]);
+    // Accept both "--flag value" and "--flag=value".
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
   }
   try {
     if (cmd == "levels") {
