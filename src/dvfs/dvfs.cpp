@@ -108,6 +108,17 @@ std::int64_t Governor::level_for(double battery_fraction) const {
   return levels_.back();
 }
 
+std::int64_t Governor::level_position(double battery_fraction) const {
+  check(battery_fraction >= 0.0 && battery_fraction <= 1.0,
+        "Governor: fraction out of range");
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    if (battery_fraction > thresholds_[i]) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return static_cast<std::int64_t>(levels_.size()) - 1;
+}
+
 double Governor::next_step_down(double battery_fraction) const {
   check(battery_fraction >= 0.0 && battery_fraction <= 1.0,
         "Governor: fraction out of range");

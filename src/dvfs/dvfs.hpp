@@ -97,6 +97,11 @@ class Governor {
 
   std::int64_t level_for(double battery_fraction) const;
 
+  /// POSITION of the chosen level within this governor's level list
+  /// (0 = fastest rung), the index serving loops use for per-level
+  /// sparsities, plans, and stats.
+  std::int64_t level_position(double battery_fraction) const;
+
   /// Battery fraction at which the level selected for `battery_fraction`
   /// steps down to the next rung (0 when already on the last level —
   /// there is nothing below).  Governor-aware batching shrinks batches

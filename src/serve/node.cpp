@@ -1,0 +1,416 @@
+#include "serve/node.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "serve/batcher.hpp"
+#include "serve/concurrent.hpp"
+#include "serve/policy.hpp"
+
+namespace rt3 {
+
+ModelDeployment& ModelDeployment::config(const ServerConfig& config) {
+  config_ = config;
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::spec(const ModelSpec& spec) {
+  spec_ = spec;
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::latency(const LatencyModel& latency) {
+  latency_ = latency;
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::sparsities(std::vector<double> sparsities) {
+  sparsities_ = std::move(sparsities);
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::scheduler(const SchedulerConfig& scheduler) {
+  config_.scheduler = scheduler;
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::batch(const BatchPolicy& batch) {
+  config_.batch = batch;
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::admit_feasible(bool admit) {
+  config_.admit_feasible = admit;
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::engine(
+    std::unique_ptr<ReconfigEngine> engine) {
+  engine_ = std::move(engine);
+  return *this;
+}
+
+ModelDeployment& ModelDeployment::backend(
+    std::unique_ptr<ExecutionBackend> backend) {
+  backend_ = std::move(backend);
+  return *this;
+}
+
+std::unique_ptr<Server> ModelDeployment::build(const VfTable& table,
+                                               const Governor& governor,
+                                               const PowerModel& power) && {
+  check(!sparsities_.empty(),
+        "ModelDeployment: sparsities(...) required (one per governor level)");
+  auto server = std::make_unique<Server>(config_, table, governor, power,
+                                         latency_, spec_, sparsities_);
+  if (backend_ != nullptr) {
+    server->adopt_backend(std::move(backend_));
+  }
+  if (engine_ != nullptr) {
+    server->adopt_engine(std::move(engine_));
+  }
+  return server;
+}
+
+Server& ModelRegistry::add(std::int64_t model_id,
+                           std::unique_ptr<Server> shard) {
+  check(shard != nullptr, "ModelRegistry: null shard");
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), model_id);
+  check(it == ids_.end() || *it != model_id,
+        "ModelRegistry: duplicate model id " + std::to_string(model_id));
+  const auto pos = static_cast<std::size_t>(it - ids_.begin());
+  ids_.insert(it, model_id);
+  shards_.insert(shards_.begin() + static_cast<std::ptrdiff_t>(pos),
+                 std::move(shard));
+  return *shards_[pos];
+}
+
+Server* ModelRegistry::find(std::int64_t model_id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), model_id);
+  if (it == ids_.end() || *it != model_id) {
+    return nullptr;
+  }
+  return shards_[static_cast<std::size_t>(it - ids_.begin())].get();
+}
+
+Router::Decision Router::route(const Request& r, double now_ms,
+                               std::int64_t level_pos) const {
+  Decision decision;
+  decision.shard = registry_.find(r.model_id);
+  if (decision.shard == nullptr) {
+    return decision;
+  }
+  // Feasibility: could an immediate solo launch at the current level meet
+  // the deadline?  If not, queueing the request can only produce a miss
+  // and delay feasible work behind it.
+  decision.admitted =
+      !decision.shard->config().admit_feasible ||
+      r.deadline_ms >= now_ms + decision.shard->batch_latency_ms(1, level_pos);
+  return decision;
+}
+
+ServeNode::ServeNode(NodeConfig config, VfTable table, Governor governor,
+                     PowerModel power)
+    : config_(config),
+      table_(std::move(table)),
+      governor_(std::move(governor)),
+      power_(power),
+      battery_(config.battery_capacity_mj),
+      router_(registry_) {
+  for (const std::int64_t li : governor_.levels()) {
+    check(li >= 0 && li < table_.size(),
+          "ServeNode: governor level not in table");
+  }
+}
+
+Server& ServeNode::add_model(std::int64_t model_id,
+                             ModelDeployment deployment) {
+  std::unique_ptr<Server> shard =
+      std::move(deployment).build(table_, governor_, power_);
+  return registry_.add(model_id, std::move(shard));
+}
+
+Server& ServeNode::model(std::int64_t model_id) {
+  Server* shard = registry_.find(model_id);
+  check(shard != nullptr,
+        "ServeNode: no model " + std::to_string(model_id));
+  return *shard;
+}
+
+NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
+  check(registry_.size() >= 1, "ServeNode: no models registered");
+
+  /// One model's in-flight serving state inside the node loop.
+  struct Shard {
+    std::int64_t model_id = 0;
+    Server* server = nullptr;
+    Batcher batcher;
+    ServerStats stats;
+    Shard(std::int64_t id, Server* s)
+        : model_id(id),
+          server(s),
+          batcher(s->config().batch, s->config().scheduler) {}
+  };
+
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(registry_.size()));
+  for (const std::int64_t id : registry_.ids()) {
+    Server* server = registry_.find(id);
+    shards.emplace_back(id, server);
+    Shard& sh = shards.back();
+    sh.stats.backend = server->backend().name();
+    sh.stats.policy = scheduling_policy_name(server->config().scheduler.policy);
+    sh.stats.runs_per_level.assign(governor_.levels().size(), 0.0);
+  }
+  const auto shard_of = [&](const Server* server) -> Shard& {
+    for (Shard& sh : shards) {
+      if (sh.server == server) {
+        return sh;
+      }
+    }
+    throw CheckError("ServeNode: router returned an unregistered shard");
+  };
+
+  NodeStats node;
+  battery_.recharge();
+
+  const auto n = static_cast<std::int64_t>(schedule.size());
+  std::int64_t next = 0;     // next schedule index to route
+  std::int64_t active = -1;  // current governor-level position (node-wide)
+  // Drain-then-switch lag of the next switch epoch (see Server::serve);
+  // within an epoch, shard k's switch can only fire after shards 0..k-1
+  // have switched, so the recorded lag accumulates across the epoch.
+  double pending_switch_lag = 0.0;
+  double now = 0.0;
+
+  const auto total_pending = [&] {
+    std::int64_t pending = 0;
+    for (const Shard& sh : shards) {
+      pending += sh.batcher.pending();
+    }
+    return pending;
+  };
+
+  while (next < n || total_pending() > 0) {
+    if (battery_.empty()) {
+      break;
+    }
+    const std::int64_t pos = governor_.level_position(battery_.fraction());
+    if (pos != active) {
+      // Shared-governor switch: the battery crossing is one node-level
+      // event, and EVERY resident model switches at this batch boundary —
+      // in model-id order, serialized on the single core — so no shard
+      // keeps serving a sub-model the new V/F level cannot afford.
+      double lag = pending_switch_lag;
+      bool battery_died = false;
+      for (Shard& sh : shards) {
+        const ServerConfig& cfg = sh.server->config();
+        ReconfigEngine* engine = sh.server->reconfig_engine();
+        double engine_swap_ms = 0.0;
+        if (cfg.software_reconfig && active >= 0) {
+          if (!battery_.drain(cfg.switch_energy_mj)) {
+            battery_died = true;  // mid-epoch death: leftovers drop below
+            break;
+          }
+          sh.stats.energy_used_mj += cfg.switch_energy_mj;
+          double switch_ms = cfg.switch_latency_ms;
+          if (engine != nullptr) {
+            const SwitchReport report = engine->switch_to(pos);
+            switch_ms = report.modeled_ms;
+            engine_swap_ms = report.plan_swap_wall_ms;
+          }
+          ++sh.stats.switches;
+          now += switch_ms;
+          sh.stats.switch_ms_total += switch_ms;
+          sh.stats.switch_ms.push_back(switch_ms);
+          sh.stats.switch_lag_ms.push_back(lag);
+          lag += switch_ms;
+        } else if (cfg.software_reconfig && engine != nullptr) {
+          // Initial activation: free at t = 0.
+          engine_swap_ms = engine->switch_to(pos).plan_swap_wall_ms;
+        }
+        const double swap_ms =
+            engine_swap_ms + sh.server->exec_backend().activate_level(pos);
+        sh.stats.plan_swap_ms.push_back(swap_ms);
+        sh.stats.plan_swap_ms_total += swap_ms;
+      }
+      pending_switch_lag = 0.0;
+      if (battery_died) {
+        break;
+      }
+      active = pos;
+      continue;  // re-read the fraction in case the switches drained it dry
+    }
+
+    // Governor-aware batching, per shard (each deployment carries its own
+    // margin/cap) against the one shared battery.
+    for (Shard& sh : shards) {
+      const ServerConfig& cfg = sh.server->config();
+      if (cfg.governor_margin > 0.0) {
+        const double fraction = battery_.fraction();
+        const double threshold = governor_.next_step_down(fraction);
+        const bool near_switch =
+            threshold > 0.0 && fraction - threshold <= cfg.governor_margin;
+        sh.batcher.set_batch_cap(near_switch ? cfg.governor_shrink_batch
+                                             : cfg.batch.max_batch_size);
+      }
+    }
+
+    // Route everything that has arrived by now; the Router decides the
+    // target shard (model id) and feasibility admission at ingress.
+    while (next < n &&
+           schedule[static_cast<std::size_t>(next)].arrival_ms <= now) {
+      const Request& r = schedule[static_cast<std::size_t>(next)];
+      const Router::Decision decision = router_.route(r, now, pos);
+      if (decision.shard == nullptr) {
+        ++node.unroutable;
+      } else {
+        Shard& sh = shard_of(decision.shard);
+        ++sh.stats.submitted;
+        if (decision.admitted) {
+          sh.batcher.push(r);
+        } else {
+          ++sh.stats.rejected;
+        }
+      }
+      ++next;
+    }
+
+    // Load shedding per shard: a blown deadline cannot be served in time.
+    for (Shard& sh : shards) {
+      if (sh.server->config().shed_expired) {
+        sh.stats.shed +=
+            static_cast<std::int64_t>(sh.batcher.shed_expired(now).size());
+      }
+    }
+    if (next >= n && total_pending() == 0) {
+      continue;  // everything left was shed/rejected; the loop ends it
+    }
+
+    // Pick the shard to run: batches serialize on the one core, so take
+    // the ready shard whose forced-release point is earliest (the oldest
+    // waiting work), ties to the lowest model id.  With one model this
+    // degenerates to exactly Server::serve's order.
+    Shard* run = nullptr;
+    for (Shard& sh : shards) {
+      if (!sh.batcher.ready(now)) {
+        continue;
+      }
+      if (run == nullptr ||
+          sh.batcher.release_at_ms() < run->batcher.release_at_ms()) {
+        run = &sh;
+      }
+    }
+    if (run == nullptr) {
+      // Nothing to do yet: jump to the earliest actionable instant.
+      double wake = next < n
+                        ? schedule[static_cast<std::size_t>(next)].arrival_ms
+                        : std::numeric_limits<double>::infinity();
+      for (const Shard& sh : shards) {
+        wake = std::min(wake, sh.batcher.release_at_ms());
+      }
+      check(wake < std::numeric_limits<double>::infinity(),
+            "ServeNode: idle with nothing pending");  // loop condition bars it
+      now = std::max(now, wake);
+      continue;
+    }
+
+    const std::vector<Request> batch = run->batcher.pop_batch(now);
+    const BatchExecution exec = run->server->exec_backend().run_batch(
+        static_cast<std::int64_t>(batch.size()), pos);
+    const double lat_ms = exec.latency_ms;
+    run->stats.kernel_wall_ms_total += exec.kernel_wall_ms;
+    const VfLevel& level =
+        table_.level(governor_.levels()[static_cast<std::size_t>(pos)]);
+    const double energy = power_.energy_mj(level, lat_ms);
+    const double frac_before = battery_.fraction();
+    if (!battery_.drain(energy)) {
+      // The popped batch is lost here; every other leftover is attributed
+      // after the loop.
+      run->stats.dropped += static_cast<std::int64_t>(batch.size());
+      break;
+    }
+    const double frac_after = battery_.fraction();
+    if (frac_before > frac_after &&
+        governor_.level_position(frac_after) != pos) {
+      const double threshold = governor_.next_step_down(frac_before);
+      pending_switch_lag =
+          lat_ms * (threshold - frac_after) / (frac_before - frac_after);
+    }
+    const double end = now + lat_ms;
+    for (const Request& r : batch) {
+      run->stats.latency_ms.push_back(end - r.arrival_ms);
+      run->stats.ensure_class(r.priority);
+      ++run->stats
+            .completed_per_class[static_cast<std::size_t>(r.priority)];
+      if (end > r.deadline_ms) {
+        ++run->stats.deadline_misses;
+        ++run->stats.misses_per_class[static_cast<std::size_t>(r.priority)];
+      }
+    }
+    run->stats.energy_used_mj += energy;
+    run->stats.completed += static_cast<std::int64_t>(batch.size());
+    run->stats.runs_per_level[static_cast<std::size_t>(pos)] +=
+        static_cast<double>(batch.size());
+    ++run->stats.batches;
+    run->stats.batch_sizes.push_back(static_cast<std::int64_t>(batch.size()));
+    run->stats.busy_ms += lat_ms;
+    if (run->server->batch_observer()) {
+      run->server->batch_observer()(batch, pos, now, end);
+    }
+    now = end;
+  }
+
+  if (battery_.empty()) {
+    // Battery died: queued requests drop where they sat, unrouted ones
+    // still attribute to their target model (or unroutable), so per-model
+    // submitted always sums to the schedule.
+    for (Shard& sh : shards) {
+      sh.stats.dropped += sh.batcher.pending();
+    }
+    for (; next < n; ++next) {
+      Server* shard = registry_.find(
+          schedule[static_cast<std::size_t>(next)].model_id);
+      if (shard == nullptr) {
+        ++node.unroutable;
+      } else {
+        Shard& sh = shard_of(shard);
+        ++sh.stats.submitted;
+        ++sh.stats.dropped;
+      }
+    }
+  }
+
+  node.sim_end_ms = now;
+  for (Shard& sh : shards) {
+    sh.stats.sim_end_ms = now;
+    node.per_model.emplace_back(sh.model_id, std::move(sh.stats));
+  }
+  node.aggregate();
+  return node;
+}
+
+NodeStats ServeNode::serve_queue(RequestQueue& queue) {
+  std::vector<Request> collected;
+  Request r;
+  while (queue.pop(r)) {
+    collected.push_back(r);
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_ms != b.arrival_ms ? a.arrival_ms < b.arrival_ms
+                                                  : a.id < b.id;
+            });
+  return serve(collected);
+}
+
+NodeStats serve_node_concurrent(ServeNode& node,
+                                const std::vector<Request>& schedule,
+                                std::int64_t producers) {
+  return consume_schedule_concurrently(
+      schedule, producers,
+      [&node](RequestQueue& queue) { return node.serve_queue(queue); });
+}
+
+}  // namespace rt3

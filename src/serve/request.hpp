@@ -28,6 +28,9 @@ struct Request {
   double deadline_ms = 0.0;
   /// Priority class, 0 = most urgent; only kEdfPriority looks at it.
   std::int64_t priority = 0;
+  /// Target model on a multi-model ServeNode (see serve/node.hpp); the
+  /// Router dispatches on this id.  Single-model Servers ignore it.
+  std::int64_t model_id = 0;
 };
 
 /// The policy's static scheduling key for one request (smaller = sooner);

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <thread>
 
 #include "common/check.hpp"
+#include "serve/concurrent.hpp"
 #include "serve/policy.hpp"
-#include "serve/thread_pool.hpp"
 
 namespace rt3 {
 
@@ -44,7 +43,7 @@ Server::Server(ServerConfig config, VfTable table, Governor governor,
   backend_ = analytic_.get();
 }
 
-void Server::attach_engine(ReconfigEngine* engine) {
+void Server::set_engine(ReconfigEngine* engine) {
   if (engine != nullptr) {
     check(engine->num_levels() ==
               static_cast<std::int64_t>(governor_.levels().size()),
@@ -53,22 +52,30 @@ void Server::attach_engine(ReconfigEngine* engine) {
   engine_ = engine;
 }
 
-void Server::attach_backend(ExecutionBackend* backend) {
+void Server::set_backend(ExecutionBackend* backend) {
   backend_ = backend != nullptr ? backend : analytic_.get();
+}
+
+void Server::adopt_engine(std::unique_ptr<ReconfigEngine> engine) {
+  set_engine(engine.get());
+  owned_engine_ = std::move(engine);
+}
+
+void Server::adopt_backend(std::unique_ptr<ExecutionBackend> backend) {
+  set_backend(backend.get());
+  owned_backend_ = std::move(backend);
+}
+
+// The deprecated shims share set_* with the owned path, so old wiring is
+// bitwise-equivalent to a deployment that adopts the same objects.
+void Server::attach_engine(ReconfigEngine* engine) { set_engine(engine); }
+
+void Server::attach_backend(ExecutionBackend* backend) {
+  set_backend(backend);
 }
 
 void Server::set_batch_observer(BatchObserver observer) {
   observer_ = std::move(observer);
-}
-
-std::int64_t Server::level_position(double battery_fraction) const {
-  const std::int64_t table_level = governor_.level_for(battery_fraction);
-  for (std::size_t i = 0; i < governor_.levels().size(); ++i) {
-    if (governor_.levels()[i] == table_level) {
-      return static_cast<std::int64_t>(i);
-    }
-  }
-  throw CheckError("Server: governor returned a level outside its list");
 }
 
 double Server::sparsity_for(std::int64_t level_pos) const {
@@ -106,7 +113,7 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     }
     // Governor decision at the batch boundary only: in-flight work has
     // drained by construction, queued requests survive the switch.
-    const std::int64_t pos = level_position(battery_.fraction());
+    const std::int64_t pos = governor_.level_position(battery_.fraction());
     if (pos != active) {
       // An engine with a plan-swap hook swaps plans inside switch_to;
       // the hook's wall cost is folded into this switch's swap entry so
@@ -159,11 +166,24 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
                                         : config_.batch.max_batch_size);
     }
 
-    // Admit everything that has arrived by now.
+    // Admit everything that has arrived by now.  Feasibility-based
+    // admission rejects a request whose deadline lies inside the fastest
+    // possible completion (an immediate solo launch at the current level):
+    // admitting it could only miss AND queue-delay feasible work behind it
+    // — the EDF domino under sustained overload.
     while (next < n &&
            schedule[static_cast<std::size_t>(next)].arrival_ms <= now) {
-      batcher.push(schedule[static_cast<std::size_t>(next)]);
+      const Request& r = schedule[static_cast<std::size_t>(next)];
+      if (config_.admit_feasible &&
+          r.deadline_ms < now + batch_latency_ms(1, pos)) {
+        ++stats.rejected;
+      } else {
+        batcher.push(r);
+      }
       ++next;
+    }
+    if (config_.admit_feasible && batcher.pending() == 0 && next >= n) {
+      continue;  // everything left was rejected; the loop condition ends it
     }
 
     // Load shedding: a request whose deadline has already passed cannot
@@ -211,7 +231,8 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     // crossing inside the (linear) drain and remember the lag — this is
     // the drain-then-switch delay governor-aware batching shrinks.
     const double frac_after = battery_.fraction();
-    if (frac_before > frac_after && level_position(frac_after) != pos) {
+    if (frac_before > frac_after &&
+        governor_.level_position(frac_after) != pos) {
       const double threshold = governor_.next_step_down(frac_before);
       pending_switch_lag =
           lat_ms * (threshold - frac_after) / (frac_before - frac_after);
@@ -263,45 +284,9 @@ ServerStats Server::serve_queue(RequestQueue& queue) {
 ServerStats serve_concurrent(Server& server,
                              const std::vector<Request>& schedule,
                              std::int64_t producers) {
-  check(producers >= 1, "serve_concurrent: need at least one producer");
-  RequestQueue queue;
-  ThreadPool pool(producers);
-  for (std::int64_t p = 0; p < producers; ++p) {
-    pool.submit([&, p] {
-      // Round-robin slice: producer p pushes requests p, p+P, p+2P, ...
-      for (std::size_t i = static_cast<std::size_t>(p); i < schedule.size();
-           i += static_cast<std::size_t>(producers)) {
-        queue.push(schedule[i]);
-      }
-    });
-  }
-  // Close the queue once every producer has drained its slice, so the
-  // consumer (below, on this thread) unblocks after the last request.
-  std::exception_ptr producer_error;
-  std::thread closer([&] {
-    try {
-      pool.wait_idle();
-    } catch (...) {
-      producer_error = std::current_exception();
-    }
-    queue.close();
-  });
-  ServerStats stats;
-  std::exception_ptr consumer_error;
-  try {
-    stats = server.serve_queue(queue);
-  } catch (...) {
-    consumer_error = std::current_exception();
-    queue.close();  // unblock any producer stuck on a bounded queue
-  }
-  closer.join();
-  if (consumer_error != nullptr) {
-    std::rethrow_exception(consumer_error);
-  }
-  if (producer_error != nullptr) {
-    std::rethrow_exception(producer_error);
-  }
-  return stats;
+  return consume_schedule_concurrently(
+      schedule, producers,
+      [&server](RequestQueue& queue) { return server.serve_queue(queue); });
 }
 
 }  // namespace rt3

@@ -1,4 +1,5 @@
-// Battery-aware inference server with deadline-aware dynamic batching.
+// Battery-aware inference server with deadline-aware dynamic batching:
+// ONE model's serving machinery (batcher, scheduler, engine, backend).
 //
 // The Server turns the per-inference ReconfigEngine + battery/governor
 // machinery into a system under load: requests arrive open-loop (see
@@ -15,6 +16,19 @@
 // bit-reproducible and runs in milliseconds of host time.  Ingestion may
 // still be genuinely concurrent: serve_queue() accepts requests from any
 // number of producer threads through the MPMC RequestQueue.
+//
+// OWNERSHIP.  A Server OWNS its ReconfigEngine and ExecutionBackend when
+// they are handed over via adopt_engine()/adopt_backend() — which is how
+// a ModelDeployment (serve/node.hpp) wires a shard — so one object owns
+// one model's full serving machinery.  The historical raw-pointer
+// attach_engine()/attach_backend() calls still work as deprecated
+// non-owning shims (they forward to the same activation path and are
+// bitwise-equivalent; the caller keeps the object alive).
+//
+// Several backbone-resident models on one device share one battery and
+// one governor through the multi-model ServeNode front-end (node.hpp),
+// which drives per-model Server shards on a single clock; this class
+// remains the single-model session loop.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +67,12 @@ struct ServerConfig {
   /// Load shedding: drop a request once its deadline is already blown,
   /// before it occupies a batch slot (counted in ServerStats::shed).
   bool shed_expired = false;
+  /// Feasibility-based admission: reject a request at ingress when its
+  /// deadline lies inside now + batch_latency(1, level) — not even an
+  /// immediate solo launch could meet it, so admitting it can only blow
+  /// other deadlines too (the EDF domino under sustained overload).
+  /// Counted in ServerStats::rejected, separately from shed.
+  bool admit_feasible = false;
   /// Governor-aware batching: while the battery fraction sits within this
   /// margin above the governor's next step-down threshold, batches are
   /// capped at governor_shrink_batch so the in-flight work drains — and
@@ -76,19 +96,41 @@ class Server {
          PowerModel power, LatencyModel latency, ModelSpec spec,
          std::vector<double> sparsities);
 
-  /// Attaches a live ReconfigEngine (non-owning): level switches then
-  /// re-compose real masks and use the engine's modeled switch latency.
-  /// The engine must have one pattern set per governor level.
+  /// Takes ownership of a live ReconfigEngine (the deployment path):
+  /// level switches then re-compose real masks and use the engine's
+  /// modeled switch latency.  One pattern set per governor level required.
+  void adopt_engine(std::unique_ptr<ReconfigEngine> engine);
+
+  /// Takes ownership of an execution backend (the deployment path);
+  /// nullptr restores the built-in AnalyticBackend.  The backend's
+  /// run_batch drives batch latency and its activate_level is called at
+  /// every drain-then-switch point (and once at session start).
+  void adopt_backend(std::unique_ptr<ExecutionBackend> backend);
+
+  /// Non-owning shim for the pre-ModelDeployment wiring; forwards to the
+  /// same activation path as adopt_engine (bitwise-equivalent), but the
+  /// caller must keep the engine alive for the Server's lifetime.
+  [[deprecated("use adopt_engine (owned) or a ModelDeployment")]]
   void attach_engine(ReconfigEngine* engine);
 
-  /// Attaches an execution backend (non-owning); nullptr restores the
-  /// built-in AnalyticBackend.  The backend's run_batch drives batch
-  /// latency and its activate_level is called at every drain-then-switch
-  /// point (and once at session start).
+  /// Non-owning shim for the pre-ModelDeployment wiring; forwards to the
+  /// same activation path as adopt_backend (bitwise-equivalent), but the
+  /// caller must keep the backend alive for the Server's lifetime.
+  [[deprecated("use adopt_backend (owned) or a ModelDeployment")]]
   void attach_backend(ExecutionBackend* backend);
+
   const ExecutionBackend& backend() const { return *backend_; }
+  /// Mutable backend access for drivers that execute batches themselves
+  /// (the ServeNode loop).
+  ExecutionBackend& exec_backend() { return *backend_; }
+  /// The engine switched at drain-then-switch points (nullptr when the
+  /// session runs without one).
+  ReconfigEngine* reconfig_engine() { return engine_; }
 
   void set_batch_observer(BatchObserver observer);
+  /// The installed observer (empty when none); drivers that execute
+  /// batches themselves (the ServeNode loop) invoke it per batch.
+  const BatchObserver& batch_observer() const { return observer_; }
 
   /// Runs one full session over a pre-generated arrival schedule
   /// (sorted by arrival time).  Deterministic.
@@ -109,10 +151,16 @@ class Server {
   const ServerConfig& config() const { return config_; }
   const Governor& governor() const { return governor_; }
   const Battery& battery() const { return battery_; }
+  const VfTable& vf_table() const { return table_; }
+  const PowerModel& power() const { return power_; }
 
  private:
-  std::int64_t level_position(double battery_fraction) const;
   double sparsity_for(std::int64_t level_pos) const;
+  /// Shared (non-owning) wiring behind both the adopt_* and the deprecated
+  /// attach_* entry points — one code path, so the shims are equivalent by
+  /// construction.
+  void set_engine(ReconfigEngine* engine);
+  void set_backend(ExecutionBackend* backend);
 
   ServerConfig config_;
   VfTable table_;
@@ -122,6 +170,10 @@ class Server {
   ModelSpec spec_;
   std::vector<double> sparsities_;
   Battery battery_;
+  /// Engine/backend storage for the owned-deployment path; empty when the
+  /// deprecated attach_* shims wired externally-owned objects instead.
+  std::unique_ptr<ReconfigEngine> owned_engine_;
+  std::unique_ptr<ExecutionBackend> owned_backend_;
   ReconfigEngine* engine_ = nullptr;
   /// Built-in analytic path; backend_ points here unless one is attached.
   std::unique_ptr<AnalyticBackend> analytic_;

@@ -45,12 +45,26 @@ MeasuredBackend& ServeSession::measured_backend() {
   return *measured_;
 }
 
-ServeSession::ServeSession(const ServeSessionConfig& config)
-    : rng_(config.seed) {
+namespace {
+
+/// Shared between ServeSession and NodeSession: builds one model's
+/// deployment (config + analytic models + owned engine/backend) over the
+/// caller-owned resident backbone.  `rng` drives weight init and pattern
+/// sets, so differently-seeded callers get different resident models.
+struct DeploymentParts {
+  ModelDeployment deployment;
+  ReconfigEngine* engine_view = nullptr;
+  MeasuredBackend* measured_view = nullptr;
+};
+
+DeploymentParts make_paper_deployment(
+    const ServeSessionConfig& config, Rng& rng,
+    std::vector<std::unique_ptr<Linear>>& owned_layers,
+    std::vector<Linear*>& layers, std::unique_ptr<ModelPruner>& pruner,
+    const std::vector<double>& tuned_sparsities) {
   const VfTable table = VfTable::odroid_xu3_a7();
   const ModelSpec spec = ModelSpec::paper_transformer();
   const LatencyModel latency = paper_calibrated_latency();
-  sparsities_ = paper_ladder_sparsities(latency, config.timing_constraint_ms);
   const bool measured = config.backend == ExecBackendKind::kMeasured;
 
   ServerConfig scfg;
@@ -61,18 +75,22 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
   scfg.governor_shrink_batch = config.governor_shrink_batch;
   scfg.software_reconfig = config.software_reconfig;
   scfg.shed_expired = config.shed_expired;
+  scfg.admit_feasible = config.admit_feasible;
   scfg.exec_mode =
       config.software_reconfig ? ExecMode::kPattern : ExecMode::kBlock;
   const std::vector<double> served_sparsities =
       config.software_reconfig
-          ? sparsities_
+          ? tuned_sparsities
           : std::vector<double>(paper_serve_ladder().size(), 0.6426);
-  server_ = std::make_unique<Server>(
-      scfg, table, Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
-      latency, spec, served_sparsities);
+
+  DeploymentParts parts;
+  parts.deployment.config(scfg)
+      .spec(spec)
+      .latency(latency)
+      .sparsities(served_sparsities);
 
   if (!config.software_reconfig && !measured) {
-    return;  // hardware-only analytic baseline: no engine, no kernels
+    return parts;  // hardware-only analytic baseline: no engine, no kernels
   }
 
   // Resident backbone with real masks; the analytic models carry the
@@ -83,17 +101,17 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
   const std::int64_t num_layers = measured ? config.measured_layers : 2;
   check(dim >= 8 && num_layers >= 1, "ServeSession: bad backbone sizing");
   for (std::int64_t i = 0; i < num_layers; ++i) {
-    owned_layers_.push_back(std::make_unique<Linear>(dim, dim, rng_));
-    layers_.push_back(owned_layers_.back().get());
+    owned_layers.push_back(std::make_unique<Linear>(dim, dim, rng));
+    layers.push_back(owned_layers.back().get());
   }
-  pruner_ = std::make_unique<ModelPruner>(layers_);
+  pruner = std::make_unique<ModelPruner>(layers);
   BpConfig bp;
   bp.num_blocks = 4;
   bp.prune_fraction = 0.25;
-  pruner_->apply_bp(bp);
+  pruner->apply_bp(bp);
   std::vector<PatternSet> sets;
   for (double s : {0.25, 0.5, 0.75}) {  // denser set at faster level
-    sets.push_back(random_pattern_set(4, s, 2, rng_));
+    sets.push_back(random_pattern_set(4, s, 2, rng));
   }
 
   if (measured) {
@@ -109,21 +127,73 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
         std::max<std::int64_t>(64, config.batch.max_batch_size);
     const std::vector<PatternSet> level_sets =
         config.software_reconfig ? sets : std::vector<PatternSet>{};
-    measured_ = std::make_unique<MeasuredBackend>(
-        mcfg, layers_, pruner_->backbone_masks(), level_sets,
+    auto measured_backend = std::make_unique<MeasuredBackend>(
+        mcfg, layers, pruner->backbone_masks(), level_sets,
         std::move(freqs));
     // Map a batch of 1 at the fastest level to ~80% of the timing
     // constraint, so the virtual session walks the same battery/deadline
     // regime as the calibrated analytic path.
-    measured_->auto_scale(0.8 * config.timing_constraint_ms);
-    server_->attach_backend(measured_.get());
+    measured_backend->auto_scale(0.8 * config.timing_constraint_ms);
+    parts.measured_view = measured_backend.get();
+    parts.deployment.backend(std::move(measured_backend));
   }
 
   if (config.software_reconfig) {
-    engine_ = std::make_unique<ReconfigEngine>(*pruner_, std::move(sets),
-                                               SwitchCostModel(), spec, 100);
-    server_->attach_engine(engine_.get());
+    auto engine = std::make_unique<ReconfigEngine>(
+        *pruner, std::move(sets), SwitchCostModel(), spec, 100);
+    parts.engine_view = engine.get();
+    parts.deployment.engine(std::move(engine));
+  }
+  return parts;
+}
+
+}  // namespace
+
+ServeSession::ServeSession(const ServeSessionConfig& config)
+    : rng_(config.seed) {
+  sparsities_ = paper_ladder_sparsities(paper_calibrated_latency(),
+                                        config.timing_constraint_ms);
+  DeploymentParts parts = make_paper_deployment(
+      config, rng_, owned_layers_, layers_, pruner_, sparsities_);
+  server_ = std::move(parts.deployment)
+                .build(VfTable::odroid_xu3_a7(),
+                       Governor::equal_tranches(paper_serve_ladder()),
+                       PowerModel());
+  engine_ = parts.engine_view;
+  measured_ = parts.measured_view;
+}
+
+struct NodeSession::Resident {
+  Rng rng;
+  std::vector<std::unique_ptr<Linear>> owned_layers;
+  std::vector<Linear*> layers;
+  std::unique_ptr<ModelPruner> pruner;
+  explicit Resident(std::uint64_t seed) : rng(seed) {}
+};
+
+NodeSession::NodeSession(const ServeSessionConfig& per_model,
+                         std::int64_t num_models) {
+  check(num_models >= 1, "NodeSession: need at least one model");
+  NodeConfig ncfg;
+  ncfg.battery_capacity_mj = per_model.battery_capacity_mj;
+  node_ = std::make_unique<ServeNode>(
+      ncfg, VfTable::odroid_xu3_a7(),
+      Governor::equal_tranches(paper_serve_ladder()), PowerModel());
+  const std::vector<double> sparsities = paper_ladder_sparsities(
+      paper_calibrated_latency(), per_model.timing_constraint_ms);
+  for (std::int64_t m = 0; m < num_models; ++m) {
+    ServeSessionConfig cfg = per_model;
+    cfg.seed = per_model.seed + static_cast<std::uint64_t>(m);
+    residents_.push_back(
+        std::make_unique<Resident>(cfg.seed));
+    Resident& resident = *residents_.back();
+    DeploymentParts parts = make_paper_deployment(
+        cfg, resident.rng, resident.owned_layers, resident.layers,
+        resident.pruner, sparsities);
+    node_->add_model(m, std::move(parts.deployment));
   }
 }
+
+NodeSession::~NodeSession() = default;
 
 }  // namespace rt3

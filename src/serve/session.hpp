@@ -18,6 +18,7 @@
 #include "nn/linear.hpp"
 #include "pruning/model_pruner.hpp"
 #include "runtime/engine.hpp"
+#include "serve/node.hpp"
 #include "serve/server.hpp"
 
 namespace rt3 {
@@ -63,11 +64,15 @@ struct ServeSessionConfig {
   /// Drop requests whose deadline is already blown before they occupy a
   /// batch slot (ServerStats::shed).
   bool shed_expired = false;
+  /// Reject ingress requests whose deadline is infeasible even for an
+  /// immediate solo launch (ServerStats::rejected, `rt3 serve --admit`).
+  bool admit_feasible = false;
   std::uint64_t seed = 11;
 };
 
-/// Owns the full serving stack: demo backbone layers, pruner, pattern
-/// sets, ReconfigEngine, and the Server wired to all of it.
+/// Owns one model's full serving stack — demo backbone layers, pruner,
+/// pattern sets — and the Server shard built from it via ModelDeployment
+/// (the Server owns its engine and backend; the session keeps views).
 class ServeSession {
  public:
   explicit ServeSession(const ServeSessionConfig& config);
@@ -86,10 +91,34 @@ class ServeSession {
   std::vector<std::unique_ptr<Linear>> owned_layers_;
   std::vector<Linear*> layers_;
   std::unique_ptr<ModelPruner> pruner_;
-  std::unique_ptr<ReconfigEngine> engine_;
-  std::unique_ptr<MeasuredBackend> measured_;
   std::vector<double> sparsities_;
   std::unique_ptr<Server> server_;
+  /// Views into the server-owned engine/backend (nullptr when absent).
+  ReconfigEngine* engine_ = nullptr;
+  MeasuredBackend* measured_ = nullptr;
+};
+
+/// Canonical multi-model node over the paper ladder: `num_models`
+/// resident models — independently seeded backbones and pattern sets,
+/// identical timing constraint — each deployed through ModelDeployment
+/// onto ONE ServeNode sharing one battery and one governor.  This is the
+/// setup behind `rt3 node`, the node bench cells, and the node demo.
+class NodeSession {
+ public:
+  /// `per_model` configures every deployment (its seed offsets by the
+  /// model id, so resident backbones differ per model).
+  NodeSession(const ServeSessionConfig& per_model, std::int64_t num_models);
+  ~NodeSession();
+
+  ServeNode& node() { return *node_; }
+  std::int64_t num_models() const { return node_->num_models(); }
+
+ private:
+  /// One model's backbone-resident state (referenced by its shard's
+  /// engine, so it must outlive the node).
+  struct Resident;
+  std::vector<std::unique_ptr<Resident>> residents_;
+  std::unique_ptr<ServeNode> node_;
 };
 
 }  // namespace rt3

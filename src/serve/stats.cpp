@@ -38,6 +38,15 @@ LatencyTail latency_tail(std::vector<double> xs) {
   return tail;
 }
 
+std::vector<double> merged_latencies(
+    const std::vector<std::pair<std::int64_t, ServerStats>>& per_model) {
+  std::vector<double> merged;
+  for (const auto& [id, s] : per_model) {
+    merged.insert(merged.end(), s.latency_ms.begin(), s.latency_ms.end());
+  }
+  return merged;
+}
+
 }  // namespace
 
 void ServerStats::ensure_class(std::int64_t priority_class) {
@@ -107,6 +116,7 @@ std::string ServerStats::summary() const {
      << "  completed        : " << completed << "\n"
      << "  dropped          : " << dropped << "\n"
      << "  shed             : " << shed << "\n"
+     << "  rejected         : " << rejected << "\n"
      << "  batches          : " << batches << " (mean size "
      << fmt_f(mean_batch_size(), 2) << ")\n"
      << "  switches         : " << switches << " ("
@@ -150,6 +160,7 @@ std::string ServerStats::to_json() const {
      << "\"completed\": " << completed << ", "
      << "\"dropped\": " << dropped << ", "
      << "\"shed\": " << shed << ", "
+     << "\"rejected\": " << rejected << ", "
      << "\"batches\": " << batches << ", "
      << "\"mean_batch_size\": " << mean_batch_size() << ", "
      << "\"switches\": " << switches << ", "
@@ -185,6 +196,137 @@ std::string ServerStats::to_json() const {
     os << (i ? ", " : "") << runs_per_level[i];
   }
   os << "]}";
+  return os.str();
+}
+
+const ServerStats& NodeStats::model(std::int64_t model_id) const {
+  for (const auto& [id, stats] : per_model) {
+    if (id == model_id) {
+      return stats;
+    }
+  }
+  throw CheckError("NodeStats: no model " + std::to_string(model_id));
+}
+
+bool NodeStats::has_model(std::int64_t model_id) const {
+  for (const auto& [id, stats] : per_model) {
+    if (id == model_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NodeStats::aggregate() {
+  submitted = unroutable;
+  completed = dropped = shed = rejected = 0;
+  batches = switches = deadline_misses = 0;
+  busy_ms = energy_used_mj = switch_ms_total = 0.0;
+  for (const auto& [id, s] : per_model) {
+    submitted += s.submitted;
+    completed += s.completed;
+    dropped += s.dropped;
+    shed += s.shed;
+    rejected += s.rejected;
+    batches += s.batches;
+    switches += s.switches;
+    deadline_misses += s.deadline_misses;
+    busy_ms += s.busy_ms;
+    energy_used_mj += s.energy_used_mj;
+    switch_ms_total += s.switch_ms_total;
+  }
+}
+
+double NodeStats::miss_rate() const {
+  if (completed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(deadline_misses) / static_cast<double>(completed);
+}
+
+double NodeStats::throughput_rps() const {
+  if (sim_end_ms <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(completed) / (sim_end_ms / 1000.0);
+}
+
+double NodeStats::latency_percentile(double p) const {
+  return percentile(merged_latencies(per_model), p);
+}
+
+double NodeStats::switch_lag_percentile(double p) const {
+  std::vector<double> merged;
+  for (const auto& [id, s] : per_model) {
+    merged.insert(merged.end(), s.switch_lag_ms.begin(),
+                  s.switch_lag_ms.end());
+  }
+  return percentile(merged, p);
+}
+
+std::string NodeStats::summary() const {
+  const LatencyTail tail = latency_tail(merged_latencies(per_model));
+  std::ostringstream os;
+  os << "  models           : " << per_model.size() << "\n"
+     << "  submitted        : " << submitted
+     << (unroutable > 0 ? " (" + std::to_string(unroutable) + " unroutable)"
+                        : "")
+     << "\n"
+     << "  completed        : " << completed << "\n"
+     << "  dropped          : " << dropped << "\n"
+     << "  shed / rejected  : " << shed << " / " << rejected << "\n"
+     << "  batches          : " << batches << "\n"
+     << "  switches         : " << switches << " ("
+     << fmt_f(switch_ms_total, 2) << " ms total, all models)\n"
+     << "  throughput       : " << fmt_f(throughput_rps(), 1) << " req/s\n"
+     << "  latency p50/p99  : " << fmt_f(tail.p50, 1) << " / "
+     << fmt_f(tail.p99, 1) << " ms\n"
+     << "  deadline misses  : " << deadline_misses << " ("
+     << fmt_pct(miss_rate()) << ")\n"
+     << "  session length   : " << fmt_f(sim_end_ms / 1000.0, 1)
+     << " s virtual (busy " << fmt_f(busy_ms / 1000.0, 1) << " s)\n"
+     << "  energy used      : " << fmt_f(energy_used_mj, 0) << " mJ\n"
+     << "  per model        :\n";
+  for (const auto& [id, s] : per_model) {
+    os << "    m" << id << ": " << s.completed << "/" << s.submitted
+       << " served, miss " << fmt_pct(s.miss_rate()) << ", p99 "
+       << fmt_f(s.latency_percentile(99.0), 1) << " ms, " << s.batches
+       << " batches, " << s.switches << " switches"
+       << (s.rejected > 0 ? ", " + std::to_string(s.rejected) + " rejected"
+                          : "")
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string NodeStats::to_json() const {
+  const LatencyTail tail = latency_tail(merged_latencies(per_model));
+  std::ostringstream os;
+  os << "{"
+     << "\"models\": {";
+  bool first = true;
+  for (const auto& [id, s] : per_model) {
+    os << (first ? "" : ", ") << "\"" << id << "\": " << s.to_json();
+    first = false;
+  }
+  os << "}, "
+     << "\"unroutable\": " << unroutable << ", "
+     << "\"submitted\": " << submitted << ", "
+     << "\"completed\": " << completed << ", "
+     << "\"dropped\": " << dropped << ", "
+     << "\"shed\": " << shed << ", "
+     << "\"rejected\": " << rejected << ", "
+     << "\"batches\": " << batches << ", "
+     << "\"switches\": " << switches << ", "
+     << "\"switch_ms_total\": " << switch_ms_total << ", "
+     << "\"throughput_rps\": " << throughput_rps() << ", "
+     << "\"p50_ms\": " << tail.p50 << ", "
+     << "\"p99_ms\": " << tail.p99 << ", "
+     << "\"deadline_misses\": " << deadline_misses << ", "
+     << "\"miss_rate\": " << miss_rate() << ", "
+     << "\"sim_end_ms\": " << sim_end_ms << ", "
+     << "\"busy_ms\": " << busy_ms << ", "
+     << "\"energy_used_mj\": " << energy_used_mj << "}";
   return os.str();
 }
 

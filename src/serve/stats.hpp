@@ -18,6 +18,12 @@ struct ServerStats {
   /// Requests shed because their deadline was already blown before they
   /// occupied a batch slot (only with ServerConfig::shed_expired).
   std::int64_t shed = 0;
+  /// Requests rejected at ingress by feasibility-based admission: their
+  /// deadline lay inside now + batch_latency(1, level) when they arrived,
+  /// so not even an immediate solo launch could have met it (only with
+  /// ServerConfig::admit_feasible).  Counted separately from `shed`, which
+  /// drops requests whose deadline has ALREADY passed at pop time.
+  std::int64_t rejected = 0;
   std::int64_t batches = 0;
   /// Pattern-set switches performed between batches.
   std::int64_t switches = 0;
@@ -84,6 +90,57 @@ struct ServerStats {
   /// Multi-line human-readable summary.
   std::string summary() const;
   /// One flat JSON object (machine-readable bench output).
+  std::string to_json() const;
+};
+
+/// Aggregated statistics for one multi-model ServeNode session: the full
+/// per-model ServerStats (keyed by model id, ascending) plus node totals.
+/// Every countable total is the exact sum of its per-model counterparts —
+/// the node loop writes only into per-model stats and aggregate() derives
+/// the rest — so per-model and node-level accounting can never drift.
+struct NodeStats {
+  /// Per-model session stats, sorted by model id.
+  std::vector<std::pair<std::int64_t, ServerStats>> per_model;
+
+  /// Requests whose model_id matched no registered model (counted at the
+  /// Router, attributable to no shard).
+  std::int64_t unroutable = 0;
+  /// Virtual time when the node's last batch (or switch) finished.
+  double sim_end_ms = 0.0;
+
+  // Node totals, all derived by aggregate() as sums over per_model.
+  std::int64_t submitted = 0;  // + unroutable
+  std::int64_t completed = 0;
+  std::int64_t dropped = 0;
+  std::int64_t shed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t batches = 0;
+  std::int64_t switches = 0;
+  std::int64_t deadline_misses = 0;
+  double busy_ms = 0.0;
+  double energy_used_mj = 0.0;
+  double switch_ms_total = 0.0;
+
+  /// Stats of one model (throws CheckError when the id is not present).
+  const ServerStats& model(std::int64_t model_id) const;
+  bool has_model(std::int64_t model_id) const;
+
+  /// Recomputes every node total from per_model (+ unroutable).
+  void aggregate();
+
+  /// Deadline misses over completed requests across all models.
+  double miss_rate() const;
+  /// Completed requests per virtual second of node session time.
+  double throughput_rps() const;
+  /// p-th latency percentile over ALL completed requests (merged models).
+  double latency_percentile(double p) const;
+  /// p-th percentile of drain-then-switch lag over ALL models' switches
+  /// (0 when no switches happened).
+  double switch_lag_percentile(double p) const;
+
+  /// Multi-line human-readable summary: node totals + one row per model.
+  std::string summary() const;
+  /// JSON: node totals plus a "models" object of per-model ServerStats.
   std::string to_json() const;
 };
 

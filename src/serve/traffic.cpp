@@ -54,6 +54,57 @@ double peak_factor(const TrafficConfig& c) {
   return peak;
 }
 
+/// The historical single-model generator: one thinned-Poisson stream at
+/// `config.rate_rps`, every request tagged `model_id`.  This body is the
+/// bitwise-stability contract — multi-model traffic is a merge of these.
+std::vector<Request> generate_single_model(const TrafficConfig& config,
+                                           std::int64_t model_id) {
+  Rng rng(config.seed);
+  // Priority classes and slack jitter draw from independent streams so
+  // tagging requests never perturbs the arrival process — schedules stay
+  // bitwise-identical in arrival for any classes / jitter setting.
+  Rng prio_rng(config.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  Rng slack_rng(config.seed ^ 0x165667b19e3779f9ULL);
+  const double base_per_ms = config.rate_rps / 1000.0;
+  const double peak_per_ms = base_per_ms * peak_factor(config);
+
+  // Thinning (Lewis & Shedler): homogeneous Poisson at the peak rate,
+  // accept each candidate with probability rate(t) / peak.
+  std::vector<Request> schedule;
+  schedule.reserve(
+      static_cast<std::size_t>(config.rate_rps * config.duration_ms / 1000.0));
+  double t = 0.0;
+  std::int64_t next_id = 0;
+  for (;;) {
+    t += -std::log(1.0 - rng.uniform()) / peak_per_ms;
+    if (t >= config.duration_ms) {
+      break;
+    }
+    const double accept = base_per_ms * rate_factor(config, t) / peak_per_ms;
+    if (rng.uniform() < accept) {
+      Request r;
+      r.id = next_id++;
+      r.arrival_ms = t;
+      r.model_id = model_id;
+      double slack = config.deadline_slack_ms;
+      if (config.tight_fraction > 0.0 &&
+          slack_rng.bernoulli(config.tight_fraction)) {
+        slack = config.tight_slack_ms;
+      }
+      if (config.deadline_slack_jitter > 0.0) {
+        slack *= slack_rng.uniform(1.0 - config.deadline_slack_jitter,
+                                   1.0 + config.deadline_slack_jitter);
+      }
+      r.deadline_ms = t + slack;
+      if (config.priority_classes > 1) {
+        r.priority = prio_rng.uniform_int(config.priority_classes);
+      }
+      schedule.push_back(r);
+    }
+  }
+  return schedule;
+}
+
 }  // namespace
 
 TrafficScenario traffic_scenario_from_name(const std::string& name) {
@@ -100,50 +151,56 @@ std::vector<Request> generate_traffic(const TrafficConfig& config) {
         "generate_traffic: tight_fraction out of [0, 1]");
   check(config.tight_slack_ms > 0.0,
         "generate_traffic: tight_slack_ms must be > 0");
+  check(config.num_models >= 1, "generate_traffic: num_models must be >= 1");
+  check(config.model_weights.empty() ||
+            config.model_weights.size() ==
+                static_cast<std::size_t>(config.num_models),
+        "generate_traffic: model_weights must have num_models entries");
 
-  Rng rng(config.seed);
-  // Priority classes and slack jitter draw from independent streams so
-  // tagging requests never perturbs the arrival process — schedules stay
-  // bitwise-identical in arrival for any classes / jitter setting.
-  Rng prio_rng(config.seed ^ 0xc2b2ae3d27d4eb4fULL);
-  Rng slack_rng(config.seed ^ 0x165667b19e3779f9ULL);
-  const double base_per_ms = config.rate_rps / 1000.0;
-  const double peak_per_ms = base_per_ms * peak_factor(config);
-
-  // Thinning (Lewis & Shedler): homogeneous Poisson at the peak rate,
-  // accept each candidate with probability rate(t) / peak.
-  std::vector<Request> schedule;
-  schedule.reserve(
-      static_cast<std::size_t>(config.rate_rps * config.duration_ms / 1000.0));
-  double t = 0.0;
-  std::int64_t next_id = 0;
-  for (;;) {
-    t += -std::log(1.0 - rng.uniform()) / peak_per_ms;
-    if (t >= config.duration_ms) {
-      break;
-    }
-    const double accept = base_per_ms * rate_factor(config, t) / peak_per_ms;
-    if (rng.uniform() < accept) {
-      Request r;
-      r.id = next_id++;
-      r.arrival_ms = t;
-      double slack = config.deadline_slack_ms;
-      if (config.tight_fraction > 0.0 &&
-          slack_rng.bernoulli(config.tight_fraction)) {
-        slack = config.tight_slack_ms;
-      }
-      if (config.deadline_slack_jitter > 0.0) {
-        slack *= slack_rng.uniform(1.0 - config.deadline_slack_jitter,
-                                   1.0 + config.deadline_slack_jitter);
-      }
-      r.deadline_ms = t + slack;
-      if (config.priority_classes > 1) {
-        r.priority = prio_rng.uniform_int(config.priority_classes);
-      }
-      schedule.push_back(r);
-    }
+  if (config.num_models == 1) {
+    // Historical path, bitwise-identical: same streams, same draws.
+    return generate_single_model(config, 0);
   }
-  return schedule;
+
+  double weight_sum = 0.0;
+  for (const double w : config.model_weights) {
+    check(w > 0.0, "generate_traffic: model weights must be > 0");
+    weight_sum += w;
+  }
+
+  // Each model is an INDEPENDENT arrival process: its own seed-derived
+  // rng streams (arrivals, priorities, slacks), its own share of the
+  // mean rate, the scenario's shape.  Merging by arrival time then gives
+  // the node-level mix without any cross-model rng coupling.  (The rng
+  // SEEDING is what stays independent; the normalized rate shares are
+  // not — re-weighting or adding a model changes every model's share of
+  // rate_rps and therefore its thinned schedule.)
+  std::vector<Request> merged;
+  for (std::int64_t m = 0; m < config.num_models; ++m) {
+    TrafficConfig per_model = config;
+    per_model.num_models = 1;
+    per_model.model_weights.clear();
+    const double share =
+        config.model_weights.empty()
+            ? 1.0 / static_cast<double>(config.num_models)
+            : config.model_weights[static_cast<std::size_t>(m)] / weight_sum;
+    per_model.rate_rps = config.rate_rps * share;
+    std::uint64_t state =
+        config.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(m);
+    per_model.seed = splitmix64(state);
+    const std::vector<Request> one = generate_single_model(per_model, m);
+    merged.insert(merged.end(), one.begin(), one.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_ms != b.arrival_ms
+                         ? a.arrival_ms < b.arrival_ms
+                         : a.model_id < b.model_id;
+            });
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    merged[i].id = static_cast<std::int64_t>(i);
+  }
+  return merged;
 }
 
 }  // namespace rt3

@@ -62,11 +62,23 @@ struct TrafficConfig {
   /// of the arrival process — so the arrival schedule is bitwise-identical
   /// for any class count, and 1 keeps every request at class 0.
   std::int64_t priority_classes = 1;
+  /// Multi-model mix for a ServeNode (>= 1): each model m in
+  /// [0, num_models) gets its OWN independent arrival process — its own
+  /// rng streams seeded from (seed, m) — at rate_rps * weight_m, and the
+  /// per-model schedules merge by arrival time.  1 (the default) takes
+  /// the historical single-model path, bitwise-identical: no extra rng
+  /// draws, every request at model_id 0.
+  std::int64_t num_models = 1;
+  /// Per-model share of rate_rps (num_models entries, positive; they are
+  /// normalized to sum to 1).  Empty = uniform 1/num_models each.
+  std::vector<double> model_weights;
   std::uint64_t seed = 7;
 };
 
-/// Generates the full arrival schedule, sorted by arrival time, ids
-/// 0..n-1 in arrival order.
+/// Generates the full arrival schedule, sorted by arrival time (ties by
+/// model id), ids 0..n-1 in that order.  With num_models > 1 each model's
+/// requests form an independent thinned-Poisson stream of the scenario's
+/// shape at its weighted share of the mean rate.
 std::vector<Request> generate_traffic(const TrafficConfig& config);
 
 }  // namespace rt3

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/args.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -17,6 +18,31 @@ namespace {
 TEST(Check, ThrowsOnFalse) {
   EXPECT_THROW(check(false, "boom"), CheckError);
   EXPECT_NO_THROW(check(true, "fine"));
+}
+
+TEST(Args, SplitsFlagEqualsValueAndKeepsPositionals) {
+  const char* argv[] = {"tool", "out.json", "--repeats=3", "--seed", "9",
+                        "--shed"};
+  const std::vector<std::string> args =
+      split_flag_args(6, const_cast<char**>(argv));
+  ASSERT_EQ(args.size(), 6U);  // "--repeats=3" split into two tokens
+  EXPECT_EQ(args[1], "--repeats");
+  EXPECT_EQ(args[2], "3");
+  EXPECT_EQ(arg_int(args, "--repeats", 1), 3);
+  EXPECT_EQ(arg_int(args, "--seed", 7), 9);
+  EXPECT_EQ(arg_int(args, "--missing", 42), 42);
+  EXPECT_TRUE(arg_present(args, "--shed"));
+  EXPECT_FALSE(arg_present(args, "--admit"));
+  const std::vector<std::string> positionals = positional_args(args);
+  ASSERT_EQ(positionals.size(), 1U);
+  EXPECT_EQ(positionals[0], "out.json");
+}
+
+TEST(Args, RejectsTrailingGarbageAndNonNumbers) {
+  const std::vector<std::string> args = {"--repeats", "3x", "--rate", "abc"};
+  EXPECT_THROW(arg_int(args, "--repeats", 1), CheckError);
+  EXPECT_THROW(arg_double(args, "--rate", 1.0), CheckError);
+  EXPECT_EQ(arg_string(args, "--repeats", ""), "3x");  // strings pass through
 }
 
 TEST(Check, NarrowRoundTrip) {

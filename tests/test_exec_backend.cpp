@@ -286,10 +286,10 @@ TEST(AnalyticBackend, AttachedBackendReproducesDefaultServerExactly) {
   for (std::int64_t li : paper_serve_ladder()) {
     freqs.push_back(table.level(li).freq_mhz);
   }
-  AnalyticBackend backend(latency, ModelSpec::paper_transformer(),
-                          ExecMode::kPattern, freqs, sparsities);
   Server with_backend = make();
-  with_backend.attach_backend(&backend);
+  with_backend.adopt_backend(std::make_unique<AnalyticBackend>(
+      latency, ModelSpec::paper_transformer(), ExecMode::kPattern, freqs,
+      sparsities));
   const ServerStats b = with_backend.serve(schedule);
 
   EXPECT_EQ(a.completed, b.completed);

@@ -335,7 +335,8 @@ TEST(Server, ServeIsDeterministic) {
 
 TEST(Server, LiveEngineSwitchesPatternSetsUnderTraffic) {
   // Real masks: a ReconfigEngine over actual Linear layers, one pattern
-  // set per governor level, sparsest set at the slowest level.
+  // set per governor level, sparsest set at the slowest level.  The
+  // engine is handed over via adopt_engine (the owned-deployment path).
   Rng rng(11);
   std::vector<std::unique_ptr<Linear>> owned;
   std::vector<Linear*> layers;
@@ -352,11 +353,11 @@ TEST(Server, LiveEngineSwitchesPatternSetsUnderTraffic) {
   sets.push_back(random_pattern_set(4, 0.25, 2, rng));
   sets.push_back(random_pattern_set(4, 0.5, 2, rng));
   sets.push_back(random_pattern_set(4, 0.75, 2, rng));
-  ReconfigEngine engine(pruner, sets, SwitchCostModel(),
-                        ModelSpec::paper_transformer(), 100);
 
   Server server = make_paper_server(18'000.0, BatchPolicy{4, 30.0});
-  server.attach_engine(&engine);
+  server.adopt_engine(std::make_unique<ReconfigEngine>(
+      pruner, sets, SwitchCostModel(), ModelSpec::paper_transformer(), 100));
+  const ReconfigEngine& engine = *server.reconfig_engine();
   TrafficConfig tcfg;
   tcfg.duration_ms = 60'000.0;
   tcfg.rate_rps = 5.0;

@@ -2,11 +2,15 @@
 """CI perf-regression gate over bench_serve_traffic output.
 
 Compares a candidate BENCH_serve.json against the committed baseline and
-fails (exit 1) when, for any (scenario, policy) cell present in both
-files, the deadline-miss rate or the p99 latency regresses beyond the
-tolerance.  Each policy is compared against ITS OWN baseline cell, so the
-gate never punishes one policy for another's latency profile (EDF trades
-background p99 for interactive misses by design).
+fails (exit 1) when any cell present in both files regresses beyond the
+tolerance on deadline-miss rate or p99 latency.  Three grids are gated,
+each cell against ITS OWN baseline cell (so the gate never punishes one
+column for another's latency profile — EDF trades background p99 for
+interactive misses by design):
+
+    scenarios       -> {scenario  x policy}  single-model Server cells
+    node_scenarios  -> {scenario  x models}  multi-model ServeNode cells
+    overload        -> {burst     x admission}  edf-shed vs edf-admit
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json
@@ -26,35 +30,48 @@ import json
 import sys
 
 
+# Gated grids: top-level key -> {row -> {column -> cell}}.  "scenarios"
+# is mandatory (the PR-3 contract); the others are gated when present in
+# the baseline, so an old baseline still compares cleanly.
+SECTIONS = ("scenarios", "node_scenarios", "overload")
+
+
 def load_cells(path):
-    """Returns {(scenario, policy): {"miss_rate": x, "p99_ms": y}}."""
+    """Returns {(section, row, column): {"miss_rate": x, "p99_ms": y}}."""
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    scenarios = doc.get("scenarios")
-    if not isinstance(scenarios, dict) or not scenarios:
+    if not isinstance(doc.get("scenarios"), dict) or not doc["scenarios"]:
         print(f"bench_compare: {path} has no 'scenarios' object",
               file=sys.stderr)
         sys.exit(2)
     cells = {}
-    for scenario, policies in scenarios.items():
-        if not isinstance(policies, dict):
-            print(f"bench_compare: scenario '{scenario}' in {path} is not "
+    for section in SECTIONS:
+        rows = doc.get(section)
+        if rows is None:
+            continue
+        if not isinstance(rows, dict):
+            print(f"bench_compare: section '{section}' in {path} is not "
                   f"an object", file=sys.stderr)
             sys.exit(2)
-        for policy, cell in policies.items():
-            try:
-                cells[(scenario, policy)] = {
-                    "miss_rate": float(cell["miss_rate"]),
-                    "p99_ms": float(cell["p99_ms"]),
-                }
-            except (KeyError, TypeError, ValueError) as e:
-                print(f"bench_compare: bad cell {scenario}/{policy} in "
-                      f"{path}: {e}", file=sys.stderr)
+        for row, columns in rows.items():
+            if not isinstance(columns, dict):
+                print(f"bench_compare: row '{section}/{row}' in {path} is "
+                      f"not an object", file=sys.stderr)
                 sys.exit(2)
+            for column, cell in columns.items():
+                try:
+                    cells[(section, row, column)] = {
+                        "miss_rate": float(cell["miss_rate"]),
+                        "p99_ms": float(cell["p99_ms"]),
+                    }
+                except (KeyError, TypeError, ValueError) as e:
+                    print(f"bench_compare: bad cell {section}/{row}/"
+                          f"{column} in {path}: {e}", file=sys.stderr)
+                    sys.exit(2)
     return cells
 
 
@@ -85,7 +102,7 @@ def main():
 
     failures = []
     for key in shared:
-        scenario, policy = key
+        section, row, column = key
         b, c = base[key], cand[key]
         miss_limit = b["miss_rate"] + args.miss_tolerance
         p99_limit = b["p99_ms"] * (1.0 + args.p99_tolerance)
@@ -102,7 +119,7 @@ def main():
         detail = "; ".join(verdicts) if verdicts else (
             f"miss {c['miss_rate']:.4f} (≤ {miss_limit:.4f}), "
             f"p99 {c['p99_ms']:.1f} ms (≤ {p99_limit:.1f} ms)")
-        print(f"  [{status}] {scenario:8s} {policy:9s} {detail}")
+        print(f"  [{status}] {section:14s} {row:8s} {column:9s} {detail}")
         if verdicts:
             failures.append((key, verdicts))
 

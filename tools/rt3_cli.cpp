@@ -36,19 +36,29 @@
 //         --threads N        measured-backend kernel threads (2)
 //         --shed             drop requests whose deadline is
 //                            already blown (load shedding)
+//         --admit            feasibility-based admission: reject requests
+//                            whose deadline no immediate solo launch
+//                            could meet (counted separately from shed)
 //         --producers N      concurrent producer threads     (2)
 //         --seed S           traffic seed                    (7)
-//       Flags also accept --flag=value form.
+//       Flags also accept --flag=value form (common/args.hpp, shared with
+//       the bench executables).
+//   rt3 node [--models N] ...                         multi-model serving
+//       node: N backbone-resident models behind ONE battery/governor,
+//       requests routed by model id with optional feasibility admission.
+//       Takes every `rt3 serve` flag (applied per model) plus:
+//         --models N         resident models on the node     (3)
 //   rt3 levels                                        print the V/F ladder
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/args.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "exec/backend.hpp"
 #include "runtime/engine.hpp"
+#include "serve/node.hpp"
 #include "serve/policy.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
@@ -57,36 +67,6 @@
 namespace {
 
 using namespace rt3;
-
-double arg_double(const std::vector<std::string>& args,
-                  const std::string& flag, double fallback) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) {
-      return std::stod(args[i + 1]);
-    }
-  }
-  return fallback;
-}
-
-std::string arg_string(const std::vector<std::string>& args,
-                       const std::string& flag, const std::string& fallback) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) {
-      return args[i + 1];
-    }
-  }
-  return fallback;
-}
-
-bool arg_present(const std::vector<std::string>& args,
-                 const std::string& flag) {
-  for (const std::string& a : args) {
-    if (a == flag) {
-      return true;
-    }
-  }
-  return false;
-}
 
 int cmd_levels() {
   const VfTable table = VfTable::odroid_xu3_a7();
@@ -194,12 +174,12 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_serve(const std::vector<std::string>& args) {
+/// The per-model session flags shared by `rt3 serve` and `rt3 node`.
+ServeSessionConfig parse_session_config(const std::vector<std::string>& args) {
   ServeSessionConfig scfg;
   scfg.battery_capacity_mj = arg_double(args, "--capacity", 12'000.0);
   scfg.timing_constraint_ms = arg_double(args, "--t", 115.0);
-  scfg.batch.max_batch_size =
-      static_cast<std::int64_t>(arg_double(args, "--batch", 2));
+  scfg.batch.max_batch_size = arg_int(args, "--batch", 2);
   scfg.batch.max_wait_ms = arg_double(args, "--wait", 20.0);
   scfg.backend =
       exec_backend_from_name(arg_string(args, "--backend", "analytic"));
@@ -208,15 +188,17 @@ int cmd_serve(const std::vector<std::string>& args) {
   scfg.scheduler.prio_weight_ms = arg_double(args, "--prio-weight", 400.0);
   scfg.scheduler.aging_ms_per_ms = arg_double(args, "--aging", 0.5);
   scfg.governor_margin = arg_double(args, "--governor-margin", 0.0);
-  scfg.governor_shrink_batch =
-      static_cast<std::int64_t>(arg_double(args, "--governor-batch", 1));
-  scfg.measured_threads =
-      static_cast<std::int64_t>(arg_double(args, "--threads", 2));
+  scfg.governor_shrink_batch = arg_int(args, "--governor-batch", 1);
+  scfg.measured_threads = arg_int(args, "--threads", 2);
   scfg.shed_expired = arg_present(args, "--shed");
+  scfg.admit_feasible = arg_present(args, "--admit");
+  return scfg;
+}
 
+/// The traffic flags shared by `rt3 serve` and `rt3 node`.
+TrafficConfig parse_traffic_config(const std::vector<std::string>& args) {
   TrafficConfig tcfg;
-  tcfg.priority_classes =
-      static_cast<std::int64_t>(arg_double(args, "--classes", 1));
+  tcfg.priority_classes = arg_int(args, "--classes", 1);
   tcfg.deadline_slack_jitter = arg_double(args, "--jitter", 0.0);
   tcfg.tight_fraction = arg_double(args, "--tight-frac", 0.0);
   tcfg.tight_slack_ms = arg_double(args, "--tight-slack", 150.0);
@@ -225,9 +207,14 @@ int cmd_serve(const std::vector<std::string>& args) {
   tcfg.rate_rps = arg_double(args, "--rate", 3.0);
   tcfg.duration_ms = arg_double(args, "--duration", 60'000.0);
   tcfg.deadline_slack_ms = arg_double(args, "--slack", 350.0);
-  tcfg.seed = static_cast<std::uint64_t>(arg_double(args, "--seed", 7));
-  const auto producers =
-      static_cast<std::int64_t>(arg_double(args, "--producers", 2));
+  tcfg.seed = static_cast<std::uint64_t>(arg_int(args, "--seed", 7));
+  return tcfg;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  ServeSessionConfig scfg = parse_session_config(args);
+  TrafficConfig tcfg = parse_traffic_config(args);
+  const std::int64_t producers = arg_int(args, "--producers", 2);
 
   const std::vector<Request> schedule = generate_traffic(tcfg);
   ServeSession session(scfg);
@@ -248,7 +235,9 @@ int cmd_serve(const std::vector<std::string>& args) {
             << (scfg.governor_margin > 0.0
                     ? ", governor margin " + fmt_pct(scfg.governor_margin)
                     : "")
-            << (scfg.shed_expired ? ", shedding" : "") << "\n\n";
+            << (scfg.shed_expired ? ", shedding" : "")
+            << (scfg.admit_feasible ? ", feasibility admission" : "")
+            << "\n\n";
   const ServerStats stats =
       serve_concurrent(session.server(), schedule, producers);
   std::cout << stats.summary();
@@ -270,13 +259,56 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (stats.completed == stats.submitted) {
     std::cout << "\nall " << stats.submitted << " requests served across "
               << stats.switches << " pattern-set switches — none lost.\n";
-  } else if (stats.shed > 0 &&
-             stats.completed + stats.shed == stats.submitted) {
-    std::cout << "\n" << stats.shed << " hopeless requests shed before "
-              << "occupying a batch slot; the rest served.\n";
+  } else if (stats.shed + stats.rejected > 0 &&
+             stats.completed + stats.shed + stats.rejected ==
+                 stats.submitted) {
+    std::cout << "\n" << stats.shed << " hopeless requests shed and "
+              << stats.rejected
+              << " rejected at ingress (infeasible deadlines); the rest "
+              << "served.\n";
   } else {
     std::cout << "\nbattery died mid-session: " << stats.dropped
               << " requests dropped (accounted above).\n";
+  }
+  return 0;
+}
+
+int cmd_node(const std::vector<std::string>& args) {
+  ServeSessionConfig scfg = parse_session_config(args);
+  TrafficConfig tcfg = parse_traffic_config(args);
+  tcfg.num_models = arg_int(args, "--models", 3);
+  const std::int64_t producers = arg_int(args, "--producers", 2);
+
+  const std::vector<Request> schedule = generate_traffic(tcfg);
+  NodeSession session(scfg, tcfg.num_models);
+  std::cout << "node: " << tcfg.num_models
+            << " backbone-resident models behind ONE "
+            << fmt_f(scfg.battery_capacity_mj, 0)
+            << " mJ battery and governor; " << schedule.size()
+            << " requests (" << traffic_scenario_name(tcfg.scenario) << ", "
+            << fmt_f(tcfg.rate_rps, 1) << " req/s mean across models, "
+            << fmt_f(tcfg.duration_ms / 1000.0, 0) << " s), T = "
+            << fmt_f(scfg.timing_constraint_ms, 0) << " ms, batch <= "
+            << scfg.batch.max_batch_size << " per model, "
+            << scheduling_policy_name(scfg.scheduler.policy) << " policy, "
+            << producers << " producer threads"
+            << (scfg.shed_expired ? ", shedding" : "")
+            << (scfg.admit_feasible ? ", feasibility admission" : "")
+            << "\n\n";
+  const NodeStats stats =
+      serve_node_concurrent(session.node(), schedule, producers);
+  std::cout << stats.summary();
+  if (stats.completed + stats.shed + stats.rejected == stats.submitted &&
+      stats.dropped == 0) {
+    std::cout << "\nevery routed request was served"
+              << (stats.shed + stats.rejected > 0 ? " or consciously "
+                                                    "shed/rejected"
+                                                  : "")
+              << "; one battery step-down reconfigured all "
+              << tcfg.num_models << " models at the same batch boundary.\n";
+  } else {
+    std::cout << "\nbattery died mid-session: " << stats.dropped
+              << " requests dropped (accounted per model above).\n";
   }
   return 0;
 }
@@ -292,8 +324,12 @@ int usage() {
       "           [--aging R] [--governor-margin F] [--governor-batch N]\n"
       "           [--capacity MJ] [--t MS] [--rate RPS] [--duration MS]\n"
       "           [--slack MS] [--batch N] [--wait MS] [--threads N] [--shed]\n"
-      "           [--producers N] [--seed S]     (flags accept --flag=value too)\n"
+      "           [--admit] [--producers N] [--seed S]\n"
+      "                                 (flags accept --flag=value too)\n"
       "                                                 battery-aware serving\n"
+      "  node     [--models N] + every serve flag       multi-model node:\n"
+      "                                 N models, ONE battery/governor,\n"
+      "                                 model-id routing + admission\n"
       "  levels                                         print the V/F ladder\n";
   return 2;
 }
@@ -305,18 +341,9 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string cmd = argv[1];
-  std::vector<std::string> args;
-  for (int i = 2; i < argc; ++i) {
-    // Accept both "--flag value" and "--flag=value".
-    const std::string arg = argv[i];
-    const std::size_t eq = arg.find('=');
-    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-      args.push_back(arg.substr(0, eq));
-      args.push_back(arg.substr(eq + 1));
-    } else {
-      args.push_back(arg);
-    }
-  }
+  // Accept both "--flag value" and "--flag=value" (shared helper, also
+  // used by the bench executables).
+  const std::vector<std::string> args = split_flag_args(argc, argv, 2);
   try {
     if (cmd == "levels") {
       return cmd_levels();
@@ -335,6 +362,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve") {
       return cmd_serve(args);
+    }
+    if (cmd == "node") {
+      return cmd_node(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
