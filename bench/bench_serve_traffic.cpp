@@ -32,6 +32,8 @@
 #include "common/args.hpp"
 #include "common/check.hpp"
 #include "common/table.hpp"
+#include "common/wall_time.hpp"
+#include "obs/trace.hpp"
 #include "serve/node.hpp"
 #include "serve/policy.hpp"
 #include "serve/server.hpp"
@@ -50,7 +52,7 @@ struct Cell {
   double mean_switch_lag_p99_ms = 0.0;
   // Human-table columns from the first repeat (works for ServerStats and
   // NodeStats alike — one shared capture instead of per-runner copies).
-  std::string requests, served, batches, thrpt, switches;
+  std::string requests, served, batches, thrpt, switches, misses_qse;
 
   template <typename Stats>
   void capture_first(const Stats& stats) {
@@ -60,6 +62,9 @@ struct Cell {
     batches = std::to_string(stats.batches);
     thrpt = fmt_f(stats.throughput_rps(), 2);
     switches = std::to_string(stats.switches);
+    misses_qse = std::to_string(stats.miss_queued) + "/" +
+                 std::to_string(stats.miss_switch) + "/" +
+                 std::to_string(stats.miss_exec);
   }
 
   std::string to_json() const {
@@ -70,6 +75,16 @@ struct Cell {
            ",\n        \"stats\": " + first_json + "}";
   }
 };
+
+/// The obs-layer invariant every cell must satisfy: each deadline miss is
+/// classified into exactly one cause (checked on EVERY repeat, for
+/// ServerStats and NodeStats alike).
+template <typename Stats>
+void check_miss_attribution(const Stats& stats) {
+  check(stats.miss_queued + stats.miss_switch + stats.miss_exec ==
+            stats.deadline_misses,
+        "bench: miss_queued + miss_switch + miss_exec != deadline_misses");
+}
 
 /// The workload every grid shares: mixed interactive/background deadlines
 /// (30% tight 350 ms, the rest 1 s), mean 3 req/s over 60 s.  With one
@@ -105,6 +120,7 @@ Cell run_policy_cell(TrafficScenario scenario, SchedulingPolicy policy,
     const std::vector<Request> schedule = generate_traffic(tcfg);
     ServeSession session(scfg);
     const ServerStats stats = serve_concurrent(session.server(), schedule, 2);
+    check_miss_attribution(stats);
     if (rep == 0) {
       cell.capture_first(stats);
     }
@@ -131,6 +147,11 @@ Cell run_node_cell(TrafficScenario scenario, std::int64_t models,
     NodeSession session(per_model, models);
     const NodeStats stats =
         serve_node_concurrent(session.node(), schedule, 2);
+    check_miss_attribution(stats);
+    for (const auto& [model_id, model_stats] : stats.per_model) {
+      (void)model_id;
+      check_miss_attribution(model_stats);  // per shard too, not just sums
+    }
     if (rep == 0) {
       cell.capture_first(stats);
     }
@@ -164,6 +185,7 @@ Cell run_overload_cell(bool admit, std::int64_t repeats, std::uint64_t seed) {
     const std::vector<Request> schedule = generate_traffic(tcfg);
     ServeSession session(scfg);
     const ServerStats stats = serve_concurrent(session.server(), schedule, 2);
+    check_miss_attribution(stats);
     if (rep == 0) {
       cell.capture_first(stats);
     }
@@ -176,6 +198,43 @@ Cell run_overload_cell(bool admit, std::int64_t repeats, std::uint64_t seed) {
   cell.mean_p99_ms /= r;
   cell.mean_switch_lag_p99_ms /= r;
   return cell;
+}
+
+/// The obs-layer overhead contract, proven per bench run: a traced session
+/// over the identical schedule must leave every serving stat
+/// BYTE-IDENTICAL (tracing is pure observation), and the wall-time cost of
+/// tracing must stay small.  Wall times are host-dependent and purely
+/// informational — the gate is the identity check, which aborts the bench
+/// on violation.
+struct ObsCell {
+  std::int64_t trace_events = 0;
+  double wall_off_ms = 0.0;
+  double wall_on_ms = 0.0;
+};
+
+ObsCell run_observability_cell(std::uint64_t seed) {
+  TrafficConfig tcfg = base_traffic(TrafficScenario::kBurst, seed);
+  const std::vector<Request> schedule = generate_traffic(tcfg);
+  ServeSessionConfig scfg;
+  scfg.scheduler.policy = SchedulingPolicy::kEdf;
+  ObsCell out;
+  // Trace-off reference (single-threaded serve keeps the timing clean).
+  ServeSession off(scfg);
+  const auto t0 = wall_now();
+  const ServerStats stats_off = off.server().serve(schedule);
+  out.wall_off_ms = wall_ms_since(t0);
+  // Trace-on run; virtual stamps only, so the trace itself is also
+  // deterministic.
+  ServeSession on(scfg);
+  TraceRecorder trace(/*record_wall=*/false);
+  on.server().set_trace(&trace);
+  const auto t1 = wall_now();
+  const ServerStats stats_on = on.server().serve(schedule);
+  out.wall_on_ms = wall_ms_since(t1);
+  check(stats_off.to_json() == stats_on.to_json(),
+        "bench: tracing perturbed serving results");
+  out.trace_events = trace.num_events();
+  return out;
 }
 
 }  // namespace
@@ -242,7 +301,7 @@ int main(int argc, char** argv) {
                                                   TrafficScenario::kDiurnal};
   TablePrinter t({"grid", "scenario", "cell", "requests", "served",
                   "batches", "thrpt (req/s)", "p99 (ms)", "miss rate",
-                  "switches"});
+                  "misses q/s/e", "switches"});
   std::string json = "{\n  \"seed\": " + std::to_string(seed) +
                      ",\n  \"repeats\": " + std::to_string(repeats) +
                      ",\n  \"scenarios\": {\n";
@@ -261,7 +320,8 @@ int main(int argc, char** argv) {
       t.add_row({"policy", traffic_scenario_name(scenario),
                  scheduling_policy_name(policy), cell.requests, cell.served,
                  cell.batches, cell.thrpt, fmt_f(cell.mean_p99_ms, 1),
-                 fmt_pct(cell.mean_miss_rate), cell.switches});
+                 fmt_pct(cell.mean_miss_rate), cell.misses_qse,
+                 cell.switches});
       json += std::string(first_cell ? "" : ",\n") + "      \"" +
               scheduling_policy_name(policy) + "\": " + cell.to_json();
       first_cell = false;
@@ -283,7 +343,7 @@ int main(int argc, char** argv) {
       t.add_row({"node", traffic_scenario_name(scenario), label,
                  cell.requests, cell.served, cell.batches, cell.thrpt,
                  fmt_f(cell.mean_p99_ms, 1), fmt_pct(cell.mean_miss_rate),
-                 cell.switches});
+                 cell.misses_qse, cell.switches});
       json += std::string(first_cell ? "" : ",\n") + "      \"" + label +
               "\": " + cell.to_json();
       first_cell = false;
@@ -299,13 +359,27 @@ int main(int argc, char** argv) {
     const std::string label = admit ? "edf-admit" : "edf-shed";
     t.add_row({"overload", "burst", label, cell.requests, cell.served,
                cell.batches, cell.thrpt, fmt_f(cell.mean_p99_ms, 1),
-               fmt_pct(cell.mean_miss_rate), cell.switches});
+               fmt_pct(cell.mean_miss_rate), cell.misses_qse,
+               cell.switches});
     json += std::string(first_cell ? "" : ",\n") + "      \"" + label +
             "\": " + cell.to_json();
     first_cell = false;
   }
-  json += "\n    }\n  }\n}\n";
+  json += "\n    }\n  },\n";
+
+  // Observability cell: tracing must be pure observation (byte-identical
+  // stats; the check inside aborts otherwise) with bounded overhead.
+  const ObsCell obs = run_observability_cell(seed);
+  json += "  \"observability\": {\"trace_off_identical\": true, "
+          "\"trace_events\": " +
+          std::to_string(obs.trace_events) +
+          ", \"wall_off_ms\": " + fmt_f(obs.wall_off_ms, 2) +
+          ", \"wall_on_ms\": " + fmt_f(obs.wall_on_ms, 2) + "}\n}\n";
   std::cout << t.str();
+  std::cout << "\nobservability: trace-off stats byte-identical to traced "
+            << "run: yes; trace-on\nrecorded " << obs.trace_events
+            << " events (" << fmt_f(obs.wall_off_ms, 1) << " ms untraced vs "
+            << fmt_f(obs.wall_on_ms, 1) << " ms traced wall).\n";
 
   std::ofstream out(out_path);
   out << json;

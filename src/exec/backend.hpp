@@ -15,6 +15,8 @@
 
 namespace rt3 {
 
+class TraceRecorder;
+
 /// What executing one batch cost.
 struct BatchExecution {
   /// Virtual-time batch latency the Server accounts (device-scale ms).
@@ -38,6 +40,15 @@ class ExecutionBackend {
   /// Makes `level_pos` the active execution configuration (e.g. swaps the
   /// PlanCache's active plan set).  Returns the host wall ms the swap took.
   virtual double activate_level(std::int64_t level_pos) = 0;
+
+  /// Attaches a trace recorder (nullptr detaches); `lane` is the trace
+  /// track (tid) the backend's spans belong to — the owning model's lane.
+  /// Default is a no-op: the analytic path has no kernel-level events
+  /// worth a span; the measured backend overrides this to emit them.
+  virtual void set_trace(TraceRecorder* trace, std::int64_t lane) {
+    (void)trace;
+    (void)lane;
+  }
 };
 
 /// Which backend a serve session should execute with.

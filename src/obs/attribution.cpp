@@ -1,0 +1,83 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace rt3 {
+
+void IntervalAccount::add(double start, double end) {
+  if (end <= start) {
+    return;
+  }
+  check(starts_.empty() || start >= ends_.back(),
+        "IntervalAccount: intervals must be appended in time order");
+  starts_.push_back(start);
+  ends_.push_back(end);
+  cum_.push_back(cum_.back() + (end - start));
+}
+
+double IntervalAccount::overlap(double a, double b) const {
+  if (b <= a || starts_.empty()) {
+    return 0.0;
+  }
+  // First interval ending after a, first interval starting at/after b:
+  // everything in [lo, hi) intersects [a, b).
+  const auto lo = static_cast<std::size_t>(
+      std::upper_bound(ends_.begin(), ends_.end(), a) - ends_.begin());
+  const auto hi = static_cast<std::size_t>(
+      std::lower_bound(starts_.begin(), starts_.end(), b) - starts_.begin());
+  if (lo >= hi) {
+    return 0.0;
+  }
+  double total = cum_[hi] - cum_[lo];
+  total -= std::max(0.0, a - starts_[lo]);       // clip head interval at a
+  total -= std::max(0.0, ends_[hi - 1] - b);     // clip tail interval at b
+  return std::max(total, 0.0);
+}
+
+WaitBreakdown attribute_wait(const IntervalAccount& switches,
+                             const IntervalAccount& execs, double arrival_ms,
+                             double start_ms, double end_ms) {
+  WaitBreakdown w;
+  w.exec_ms = std::max(0.0, end_ms - start_ms);
+  const double wait = std::max(0.0, start_ms - arrival_ms);
+  w.switch_stall_ms = switches.overlap(arrival_ms, start_ms);
+  w.queue_wait_ms = execs.overlap(arrival_ms, start_ms);
+  // Switch and exec intervals never overlap each other (the loop is
+  // serialized on one virtual clock), so the remainder is the batching
+  // hold; clamp absorbs FP rounding.
+  w.batch_wait_ms =
+      std::max(0.0, wait - w.switch_stall_ms - w.queue_wait_ms);
+  return w;
+}
+
+MissClass classify_miss(const WaitBreakdown& breakdown, double arrival_ms,
+                        double end_ms, double deadline_ms) {
+  if (end_ms <= deadline_ms) {
+    return MissClass::kNone;
+  }
+  if (arrival_ms + breakdown.exec_ms > deadline_ms) {
+    return MissClass::kExec;
+  }
+  if (end_ms - breakdown.switch_stall_ms <= deadline_ms) {
+    return MissClass::kSwitch;
+  }
+  return MissClass::kQueued;
+}
+
+const char* miss_class_name(MissClass c) {
+  switch (c) {
+    case MissClass::kNone:
+      return "none";
+    case MissClass::kQueued:
+      return "queued";
+    case MissClass::kSwitch:
+      return "switch";
+    case MissClass::kExec:
+      return "exec";
+  }
+  return "none";
+}
+
+}  // namespace rt3

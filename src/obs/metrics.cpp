@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/trace.hpp"
+
+namespace rt3 {
+
+MetricLabels::MetricLabels(
+    std::initializer_list<std::pair<std::string, std::string>> kv) {
+  for (const auto& [key, value] : kv) {
+    add(key, value);
+  }
+}
+
+MetricLabels& MetricLabels::add(const std::string& key,
+                                const std::string& value) {
+  kv_.emplace_back(key, value);
+  std::sort(kv_.begin(), kv_.end());
+  return *this;
+}
+
+MetricLabels& MetricLabels::add(const std::string& key, std::int64_t value) {
+  return add(key, std::to_string(value));
+}
+
+std::string MetricLabels::suffix() const {
+  if (kv_.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (std::size_t i = 0; i < kv_.size(); ++i) {
+    out += (i ? "," : "") + kv_[i].first + "=\"" + kv_[i].second + "\"";
+  }
+  return out + "}";
+}
+
+Histogram::Histogram(double lo, std::int64_t num_buckets) : lo_(lo) {
+  check(lo > 0.0, "Histogram: lo must be positive");
+  check(num_buckets >= 1, "Histogram: need at least one bucket");
+  buckets_.assign(static_cast<std::size_t>(num_buckets) + 2, 0);
+}
+
+void Histogram::observe(double x) {
+  ++count_;
+  sum_ += x;
+  if (x < lo_) {
+    ++buckets_.front();
+    return;
+  }
+  // Doubling edges: bucket i covers [lo * 2^i, lo * 2^(i+1)).  The loop
+  // (vs log2) keeps the edge comparison in plain double arithmetic, so
+  // boundary values land deterministically on every platform.
+  double edge = lo_;
+  for (std::size_t i = 1; i + 1 < buckets_.size(); ++i) {
+    if (x < edge * 2.0) {
+      ++buckets_[i];
+      return;
+    }
+    edge *= 2.0;
+  }
+  ++buckets_.back();
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::bucket_lo(std::int64_t i) const {
+  check(i >= 0 && static_cast<std::size_t>(i) < buckets_.size(),
+        "Histogram: bucket index out of range");
+  if (i == 0) {
+    return 0.0;
+  }
+  double edge = lo_;
+  for (std::int64_t k = 1; k < i; ++k) {
+    edge *= 2.0;
+  }
+  return edge;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  return counters_[name + labels.suffix()];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  return gauges_[name + labels.suffix()];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const MetricLabels& labels, double lo,
+                                      std::int64_t num_buckets) {
+  const std::string key = name + labels.suffix();
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_.emplace(key, Histogram(lo, num_buckets)).first->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(
+    const std::string& name, const MetricLabels& labels) const {
+  const auto it = counters_.find(name + labels.suffix());
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t MetricsRegistry::size() const {
+  return static_cast<std::int64_t>(counters_.size() + gauges_.size() +
+                                   histograms_.size());
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  // Metric names embed label suffixes like {model="1"}, so keys MUST be
+  // escaped to stay valid JSON.
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ", ") << "\"" << trace_json_escape(name)
+       << "\": " << c.value();
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ", ") << "\"" << trace_json_escape(name)
+       << "\": " << trace_json_num(g.value());
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ", ") << "\"" << trace_json_escape(name)
+       << "\": {\"count\": " << h.count()
+       << ", \"sum\": " << trace_json_num(h.sum()) << ", \"buckets\": [";
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      os << (i ? ", " : "") << buckets[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace rt3

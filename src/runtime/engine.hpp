@@ -14,6 +14,8 @@
 
 namespace rt3 {
 
+class TraceRecorder;
+
 /// Result of one reconfiguration switch.
 struct SwitchReport {
   std::int64_t from_level = -1;
@@ -53,6 +55,12 @@ class ReconfigEngine {
   /// in SwitchReport::plan_swap_wall_ms.
   void set_plan_swap_hook(PlanSwapHook hook);
 
+  /// Attaches a trace recorder (nullptr detaches): every effective
+  /// switch_to then emits a pattern-swap instant (stamped at the
+  /// recorder's published virtual clock; wall args only when it records
+  /// wall time).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Overall model sparsity at a level (measured on the composed masks).
   double sparsity_at(std::int64_t level);
 
@@ -66,6 +74,7 @@ class ReconfigEngine {
   std::int64_t psize_;
   std::int64_t current_ = -1;
   PlanSwapHook plan_swap_hook_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// Battery-discharge simulation (the paper's Table II experiment and the

@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/concurrent.hpp"
 #include "serve/policy.hpp"
@@ -99,6 +102,12 @@ Router::Decision Router::route(const Request& r, double now_ms,
   Decision decision;
   decision.shard = registry_.find(r.model_id);
   if (decision.shard == nullptr) {
+    if (trace_ != nullptr) {
+      TraceEvent ev("unroutable", "router", r.arrival_ms, 0);
+      ev.id = r.id;
+      ev.arg("model_id", r.model_id);
+      trace_->record(std::move(ev));
+    }
     return decision;
   }
   // Feasibility: could an immediate solo launch at the current level meet
@@ -107,6 +116,13 @@ Router::Decision Router::route(const Request& r, double now_ms,
   decision.admitted =
       !decision.shard->config().admit_feasible ||
       r.deadline_ms >= now_ms + decision.shard->batch_latency_ms(1, level_pos);
+  if (trace_ != nullptr) {
+    TraceEvent ev(decision.admitted ? "arrive" : "reject", "request",
+                  r.arrival_ms, r.model_id + 1);
+    ev.id = r.id;
+    ev.arg("deadline_ms", r.deadline_ms).arg("model_id", r.model_id);
+    trace_->record(std::move(ev));
+  }
   return decision;
 }
 
@@ -175,6 +191,24 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
   NodeStats node;
   battery_.recharge();
 
+  // Node-wide interval records for miss attribution: batches and switch
+  // epochs from EVERY model serialize on the one core, so one shared pair
+  // of accounts describes what any waiting request was stalled behind.
+  IntervalAccount switch_ivals;
+  IntervalAccount exec_ivals;
+  if (trace_ != nullptr) {
+    router_.set_trace(trace_);
+    for (Shard& sh : shards) {
+      const std::int64_t lane = sh.model_id + 1;
+      if (sh.server->reconfig_engine() != nullptr) {
+        sh.server->reconfig_engine()->set_trace(trace_);
+      }
+      sh.server->exec_backend().set_trace(trace_, lane);
+      sh.batcher.set_trace(trace_, lane);
+    }
+    trace_->set_now_ms(0.0);
+  }
+
   const auto n = static_cast<std::int64_t>(schedule.size());
   std::int64_t next = 0;     // next schedule index to route
   std::int64_t active = -1;  // current governor-level position (node-wide)
@@ -204,6 +238,13 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
       // keeps serving a sub-model the new V/F level cannot afford.
       double lag = pending_switch_lag;
       bool battery_died = false;
+      if (trace_ != nullptr && active >= 0) {
+        trace_->set_now_ms(now);
+        trace_->record(TraceEvent("governor.step", "governor", now, 0)
+                           .arg("from_level", active)
+                           .arg("to_level", pos)
+                           .arg("battery_fraction", battery_.fraction()));
+      }
       for (Shard& sh : shards) {
         const ServerConfig& cfg = sh.server->config();
         ReconfigEngine* engine = sh.server->reconfig_engine();
@@ -215,12 +256,23 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
           }
           sh.stats.energy_used_mj += cfg.switch_energy_mj;
           double switch_ms = cfg.switch_latency_ms;
+          if (trace_ != nullptr) {
+            trace_->set_now_ms(now);
+          }
           if (engine != nullptr) {
             const SwitchReport report = engine->switch_to(pos);
             switch_ms = report.modeled_ms;
             engine_swap_ms = report.plan_swap_wall_ms;
           }
           ++sh.stats.switches;
+          switch_ivals.add(now, now + switch_ms);
+          if (trace_ != nullptr) {
+            TraceEvent ev("switch", "switch", now, sh.model_id + 1);
+            ev.ph = 'X';
+            ev.dur_ms = switch_ms;
+            ev.arg("to_level", pos).arg("drain_lag_ms", lag);
+            trace_->record(std::move(ev));
+          }
           now += switch_ms;
           sh.stats.switch_ms_total += switch_ms;
           sh.stats.switch_ms.push_back(switch_ms);
@@ -317,6 +369,9 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     }
 
     const std::vector<Request> batch = run->batcher.pop_batch(now);
+    if (trace_ != nullptr) {
+      trace_->set_now_ms(now);
+    }
     const BatchExecution exec = run->server->exec_backend().run_batch(
         static_cast<std::int64_t>(batch.size()), pos);
     const double lat_ms = exec.latency_ms;
@@ -329,6 +384,10 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
       // The popped batch is lost here; every other leftover is attributed
       // after the loop.
       run->stats.dropped += static_cast<std::int64_t>(batch.size());
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent("battery.dead", "governor", now, 0)
+                           .arg("model_id", run->model_id));
+      }
       break;
     }
     const double frac_after = battery_.fraction();
@@ -341,13 +400,60 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     const double end = now + lat_ms;
     for (const Request& r : batch) {
       run->stats.latency_ms.push_back(end - r.arrival_ms);
+      // Decompose against the node-wide accounts BEFORE this batch joins
+      // exec_ivals: waiting behind ANOTHER model's batch is queue_wait
+      // here too — cross-model head-of-line blocking becomes visible.
+      const WaitBreakdown w =
+          attribute_wait(switch_ivals, exec_ivals, r.arrival_ms, now, end);
+      run->stats.queue_wait_ms.push_back(w.queue_wait_ms);
+      run->stats.batch_wait_ms.push_back(w.batch_wait_ms);
+      run->stats.switch_stall_req_ms.push_back(w.switch_stall_ms);
+      run->stats.exec_req_ms.push_back(w.exec_ms);
       run->stats.ensure_class(r.priority);
       ++run->stats
             .completed_per_class[static_cast<std::size_t>(r.priority)];
+      MissClass miss = MissClass::kNone;
       if (end > r.deadline_ms) {
         ++run->stats.deadline_misses;
         ++run->stats.misses_per_class[static_cast<std::size_t>(r.priority)];
+        miss = classify_miss(w, r.arrival_ms, end, r.deadline_ms);
+        switch (miss) {
+          case MissClass::kQueued: ++run->stats.miss_queued; break;
+          case MissClass::kSwitch: ++run->stats.miss_switch; break;
+          case MissClass::kExec: ++run->stats.miss_exec; break;
+          case MissClass::kNone: break;  // unreachable: end > deadline
+        }
       }
+      if (trace_ != nullptr) {
+        const std::int64_t lane = run->model_id + 1;
+        TraceEvent span("request", "request", r.arrival_ms, lane);
+        span.ph = 'X';
+        span.dur_ms = end - r.arrival_ms;
+        span.id = r.id;
+        span.arg("queue_wait_ms", w.queue_wait_ms)
+            .arg("batch_wait_ms", w.batch_wait_ms)
+            .arg("switch_stall_ms", w.switch_stall_ms)
+            .arg("exec_ms", w.exec_ms)
+            .arg("deadline_ms", r.deadline_ms);
+        trace_->record(std::move(span));
+        if (miss != MissClass::kNone) {
+          TraceEvent ev("miss", "request", end, lane);
+          ev.id = r.id;
+          ev.arg("cause", std::string(miss_class_name(miss)))
+              .arg("over_by_ms", end - r.deadline_ms);
+          trace_->record(std::move(ev));
+        }
+      }
+    }
+    exec_ivals.add(now, end);
+    if (trace_ != nullptr) {
+      TraceEvent ev("batch", "batch", now, run->model_id + 1);
+      ev.ph = 'X';
+      ev.dur_ms = lat_ms;
+      ev.arg("size", static_cast<std::int64_t>(batch.size()))
+          .arg("level", pos)
+          .arg("energy_mj", energy);
+      trace_->record(std::move(ev));
     }
     run->stats.energy_used_mj += energy;
     run->stats.completed += static_cast<std::int64_t>(batch.size());
@@ -388,6 +494,20 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     node.per_model.emplace_back(sh.model_id, std::move(sh.stats));
   }
   node.aggregate();
+  if (trace_ != nullptr) {
+    // Detach so a later un-traced serve() on the same wiring stays clean.
+    router_.set_trace(nullptr);
+    for (const std::int64_t id : registry_.ids()) {
+      Server* server = registry_.find(id);
+      if (server->reconfig_engine() != nullptr) {
+        server->reconfig_engine()->set_trace(nullptr);
+      }
+      server->exec_backend().set_trace(nullptr, 0);
+    }
+  }
+  if (metrics_ != nullptr) {
+    node.publish(*metrics_);
+  }
   return node;
 }
 

@@ -123,8 +123,14 @@ class Router {
   Decision route(const Request& r, double now_ms,
                  std::int64_t level_pos) const;
 
+  /// Attaches a trace recorder (nullptr detaches): route() then emits a
+  /// routed/reject/unroutable instant per request on the target model's
+  /// lane (model id + 1; lane 0 for unroutable ids).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   const ModelRegistry& registry_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 struct NodeConfig {
@@ -162,6 +168,17 @@ class ServeNode {
   const Battery& battery() const { return battery_; }
   const Governor& governor() const { return governor_; }
 
+  /// Attaches a trace recorder (nullptr detaches): serve() then emits the
+  /// full request/batch/switch lifecycle on per-model lanes (model id + 1)
+  /// with governor/battery events on lane 0, and forwards the recorder to
+  /// the Router and every shard's engine, backend, and batcher.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+  /// Directs session counters into an external registry (nullptr resets):
+  /// serve() then mirrors the final NodeStats via NodeStats::publish.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   NodeConfig config_;
   VfTable table_;
@@ -170,6 +187,8 @@ class ServeNode {
   Battery battery_;
   ModelRegistry registry_;
   Router router_;
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Pushes `schedule` through a RequestQueue from `producers` pool threads

@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/concurrent.hpp"
 #include "serve/policy.hpp"
 
@@ -78,6 +81,10 @@ void Server::set_batch_observer(BatchObserver observer) {
   observer_ = std::move(observer);
 }
 
+void Server::set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+void Server::set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
 double Server::sparsity_for(std::int64_t level_pos) const {
   return config_.software_reconfig
              ? sparsities_[static_cast<std::size_t>(level_pos)]
@@ -97,6 +104,22 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
   stats.runs_per_level.assign(governor_.levels().size(), 0.0);
   battery_.recharge();
   Batcher batcher(config_.batch, config_.scheduler);
+  // Virtual-time records of when switches / batch executions ran; the
+  // miss-attribution decomposition (obs/attribution.hpp) queries the
+  // overlap of each request's wait against them.
+  IntervalAccount switch_ivals;
+  IntervalAccount exec_ivals;
+  // Single lane for the one model's request/batch spans; lane 0 carries
+  // governor/battery events (see TraceRecorder's track naming).
+  constexpr std::int64_t kLane = 1;
+  if (trace_ != nullptr) {
+    if (engine_ != nullptr) {
+      engine_->set_trace(trace_);
+    }
+    backend_->set_trace(trace_, kLane);
+    batcher.set_trace(trace_, kLane);
+    trace_->set_now_ms(0.0);
+  }
 
   const std::int64_t n = stats.submitted;
   std::int64_t next = 0;   // next schedule index to admit
@@ -124,6 +147,13 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
         if (!battery_.drain(config_.switch_energy_mj)) {
           break;  // no charge left to pay for the switch; session ends
         }
+        if (trace_ != nullptr) {
+          trace_->set_now_ms(now);
+          trace_->record(TraceEvent("governor.step", "governor", now, 0)
+                             .arg("from_level", active)
+                             .arg("to_level", pos)
+                             .arg("battery_fraction", battery_.fraction()));
+        }
         stats.energy_used_mj += config_.switch_energy_mj;
         double switch_ms = config_.switch_latency_ms;
         if (engine_ != nullptr) {
@@ -132,6 +162,14 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
           engine_swap_ms = report.plan_swap_wall_ms;
         }
         ++stats.switches;
+        switch_ivals.add(now, now + switch_ms);
+        if (trace_ != nullptr) {
+          TraceEvent ev("switch", "switch", now, 0);
+          ev.ph = 'X';
+          ev.dur_ms = switch_ms;
+          ev.arg("to_level", pos).arg("drain_lag_ms", pending_switch_lag);
+          trace_->record(std::move(ev));
+        }
         now += switch_ms;
         stats.switch_ms_total += switch_ms;
         stats.switch_ms.push_back(switch_ms);
@@ -177,7 +215,20 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       if (config_.admit_feasible &&
           r.deadline_ms < now + batch_latency_ms(1, pos)) {
         ++stats.rejected;
+        if (trace_ != nullptr) {
+          TraceEvent ev("reject", "request", r.arrival_ms, kLane);
+          ev.id = r.id;
+          ev.arg("deadline_ms", r.deadline_ms)
+              .arg("fastest_finish_ms", now + batch_latency_ms(1, pos));
+          trace_->record(std::move(ev));
+        }
       } else {
+        if (trace_ != nullptr) {
+          TraceEvent ev("arrive", "request", r.arrival_ms, kLane);
+          ev.id = r.id;
+          ev.arg("deadline_ms", r.deadline_ms).arg("priority", r.priority);
+          trace_->record(std::move(ev));
+        }
         batcher.push(r);
       }
       ++next;
@@ -211,6 +262,9 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     }
 
     const std::vector<Request> batch = batcher.pop_batch(now);
+    if (trace_ != nullptr) {
+      trace_->set_now_ms(now);
+    }
     const BatchExecution exec =
         backend_->run_batch(static_cast<std::int64_t>(batch.size()), pos);
     const double lat_ms = exec.latency_ms;
@@ -224,6 +278,10 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       // unserved remainder is accounted as dropped.
       stats.dropped += static_cast<std::int64_t>(batch.size()) +
                        batcher.pending() + (n - next);
+      if (trace_ != nullptr) {
+        trace_->record(TraceEvent("battery.dead", "governor", now, 0)
+                           .arg("dropped", stats.dropped));
+      }
       break;
     }
     // Did this batch's drain cross a governor threshold?  If so the
@@ -240,12 +298,58 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     const double end = now + lat_ms;
     for (const Request& r : batch) {
       stats.latency_ms.push_back(end - r.arrival_ms);
+      // Decompose the wait against the recorded switch / exec intervals
+      // BEFORE this batch joins exec_ivals, so its own execution counts
+      // as exec_ms and not as queueing.
+      const WaitBreakdown w =
+          attribute_wait(switch_ivals, exec_ivals, r.arrival_ms, now, end);
+      stats.queue_wait_ms.push_back(w.queue_wait_ms);
+      stats.batch_wait_ms.push_back(w.batch_wait_ms);
+      stats.switch_stall_req_ms.push_back(w.switch_stall_ms);
+      stats.exec_req_ms.push_back(w.exec_ms);
       stats.ensure_class(r.priority);
       ++stats.completed_per_class[static_cast<std::size_t>(r.priority)];
+      MissClass miss = MissClass::kNone;
       if (end > r.deadline_ms) {
         ++stats.deadline_misses;
         ++stats.misses_per_class[static_cast<std::size_t>(r.priority)];
+        miss = classify_miss(w, r.arrival_ms, end, r.deadline_ms);
+        switch (miss) {
+          case MissClass::kQueued: ++stats.miss_queued; break;
+          case MissClass::kSwitch: ++stats.miss_switch; break;
+          case MissClass::kExec: ++stats.miss_exec; break;
+          case MissClass::kNone: break;  // unreachable: end > deadline
+        }
       }
+      if (trace_ != nullptr) {
+        TraceEvent span("request", "request", r.arrival_ms, kLane);
+        span.ph = 'X';
+        span.dur_ms = end - r.arrival_ms;
+        span.id = r.id;
+        span.arg("queue_wait_ms", w.queue_wait_ms)
+            .arg("batch_wait_ms", w.batch_wait_ms)
+            .arg("switch_stall_ms", w.switch_stall_ms)
+            .arg("exec_ms", w.exec_ms)
+            .arg("deadline_ms", r.deadline_ms);
+        trace_->record(std::move(span));
+        if (miss != MissClass::kNone) {
+          TraceEvent ev("miss", "request", end, kLane);
+          ev.id = r.id;
+          ev.arg("cause", std::string(miss_class_name(miss)))
+              .arg("over_by_ms", end - r.deadline_ms);
+          trace_->record(std::move(ev));
+        }
+      }
+    }
+    exec_ivals.add(now, end);
+    if (trace_ != nullptr) {
+      TraceEvent ev("batch", "batch", now, kLane);
+      ev.ph = 'X';
+      ev.dur_ms = lat_ms;
+      ev.arg("size", static_cast<std::int64_t>(batch.size()))
+          .arg("level", pos)
+          .arg("energy_mj", energy);
+      trace_->record(std::move(ev));
     }
     stats.energy_used_mj += energy;
     stats.completed += static_cast<std::int64_t>(batch.size());
@@ -262,8 +366,23 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
 
   if (battery_.empty() && stats.dropped == 0) {
     stats.dropped = batcher.pending() + (n - next);
+    if (trace_ != nullptr && stats.dropped > 0) {
+      trace_->record(TraceEvent("battery.dead", "governor", now, 0)
+                         .arg("dropped", stats.dropped));
+    }
   }
   stats.sim_end_ms = now;
+  if (trace_ != nullptr) {
+    // Detach so a later un-traced serve() on the same wiring stays clean.
+    if (engine_ != nullptr) {
+      engine_->set_trace(nullptr);
+    }
+    backend_->set_trace(nullptr, 0);
+  }
+  if (metrics_ != nullptr) {
+    stats.publish(*metrics_, MetricLabels{{"policy", stats.policy},
+                                          {"backend", stats.backend}});
+  }
   return stats;
 }
 

@@ -48,6 +48,9 @@
 
 namespace rt3 {
 
+class TraceRecorder;
+class MetricsRegistry;
+
 struct ServerConfig {
   double battery_capacity_mj = 5e4;
   BatchPolicy batch;
@@ -132,6 +135,20 @@ class Server {
   /// batches themselves (the ServeNode loop) invoke it per batch.
   const BatchObserver& batch_observer() const { return observer_; }
 
+  /// Attaches a trace recorder (nullptr detaches): the serve loop then
+  /// emits request-lifecycle spans, batch/switch spans, and governor
+  /// instants, and forwards the recorder to the engine, backend, and
+  /// batcher.  Every instrumentation site is a single `if (trace_)`
+  /// branch, so trace-off sessions are bitwise-identical to untraced ones.
+  void set_trace(TraceRecorder* trace);
+  TraceRecorder* trace() const { return trace_; }
+
+  /// Directs the session's metric counters into an external registry
+  /// (nullptr restores the internal throwaway one): serve() mirrors every
+  /// ServerStats countable into it under labeled names via
+  /// ServerStats::publish.
+  void set_metrics(MetricsRegistry* metrics);
+
   /// Runs one full session over a pre-generated arrival schedule
   /// (sorted by arrival time).  Deterministic.
   ServerStats serve(const std::vector<Request>& schedule);
@@ -179,6 +196,8 @@ class Server {
   std::unique_ptr<AnalyticBackend> analytic_;
   ExecutionBackend* backend_ = nullptr;
   BatchObserver observer_;
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Pushes `schedule` through a RequestQueue from `producers` pool threads

@@ -6,9 +6,18 @@
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace rt3 {
 namespace {
+
+double sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) {
+    total += x;
+  }
+  return total;
+}
 
 /// p50/p95/p99 from ONE sorted copy (summary/to_json report all three;
 /// sorting per percentile would triple the work on large sessions).
@@ -106,6 +115,59 @@ double ServerStats::switch_lag_percentile(double p) const {
   return percentile(switch_lag_ms, p);
 }
 
+double ServerStats::queue_wait_total_ms() const { return sum(queue_wait_ms); }
+
+double ServerStats::batch_wait_total_ms() const { return sum(batch_wait_ms); }
+
+double ServerStats::switch_stall_total_ms() const {
+  return sum(switch_stall_req_ms);
+}
+
+void ServerStats::publish(MetricsRegistry& registry,
+                          const MetricLabels& labels) const {
+  registry.counter("serve.submitted", labels).inc(submitted);
+  registry.counter("serve.completed", labels).inc(completed);
+  registry.counter("serve.dropped", labels).inc(dropped);
+  registry.counter("serve.shed", labels).inc(shed);
+  registry.counter("serve.rejected", labels).inc(rejected);
+  registry.counter("serve.batches", labels).inc(batches);
+  registry.counter("serve.switches", labels).inc(switches);
+  registry.counter("serve.deadline_misses", labels).inc(deadline_misses);
+  registry.counter("serve.miss_queued", labels).inc(miss_queued);
+  registry.counter("serve.miss_switch", labels).inc(miss_switch);
+  registry.counter("serve.miss_exec", labels).inc(miss_exec);
+  registry.gauge("serve.energy_used_mj", labels).set(energy_used_mj);
+  registry.gauge("serve.busy_ms", labels).set(busy_ms);
+  registry.gauge("serve.sim_end_ms", labels).set(sim_end_ms);
+  registry.gauge("serve.switch_ms_total", labels).set(switch_ms_total);
+  for (std::size_t i = 0; i < runs_per_level.size(); ++i) {
+    MetricLabels level_labels = labels;
+    level_labels.add("level", static_cast<std::int64_t>(i));
+    registry.counter("serve.runs_per_level", level_labels)
+        .inc(static_cast<std::int64_t>(runs_per_level[i]));
+  }
+  Histogram& lat = registry.histogram("serve.latency_ms", labels);
+  for (double x : latency_ms) {
+    lat.observe(x);
+  }
+  Histogram& queue = registry.histogram("serve.queue_wait_ms", labels);
+  for (double x : queue_wait_ms) {
+    queue.observe(x);
+  }
+  Histogram& batch = registry.histogram("serve.batch_wait_ms", labels);
+  for (double x : batch_wait_ms) {
+    batch.observe(x);
+  }
+  Histogram& stall = registry.histogram("serve.switch_stall_ms", labels);
+  for (double x : switch_stall_req_ms) {
+    stall.observe(x);
+  }
+  Histogram& sizes = registry.histogram("serve.batch_size", labels, 1.0, 12);
+  for (std::int64_t b : batch_sizes) {
+    sizes.observe(static_cast<double>(b));
+  }
+}
+
 std::string ServerStats::summary() const {
   const LatencyTail tail = latency_tail(latency_ms);
   std::ostringstream os;
@@ -128,7 +190,12 @@ std::string ServerStats::summary() const {
      << "  latency p50/p95/p99 : " << fmt_f(tail.p50, 1) << " / "
      << fmt_f(tail.p95, 1) << " / " << fmt_f(tail.p99, 1) << " ms\n"
      << "  deadline misses  : " << deadline_misses << " ("
-     << fmt_pct(miss_rate()) << ")\n";
+     << fmt_pct(miss_rate()) << ")\n"
+     << "  miss attribution : queued " << miss_queued << ", switch "
+     << miss_switch << ", exec " << miss_exec << "\n"
+     << "  wait breakdown   : queue " << fmt_f(queue_wait_total_ms(), 0)
+     << " / batch " << fmt_f(batch_wait_total_ms(), 0) << " / stall "
+     << fmt_f(switch_stall_total_ms(), 0) << " ms total\n";
   if (completed_per_class.size() > 1) {
     os << "  miss rate by class : ";
     for (std::size_t c = 0; c < completed_per_class.size(); ++c) {
@@ -177,6 +244,12 @@ std::string ServerStats::to_json() const {
      << "\"p95_ms\": " << tail.p95 << ", "
      << "\"p99_ms\": " << tail.p99 << ", "
      << "\"deadline_misses\": " << deadline_misses << ", "
+     << "\"miss_queued\": " << miss_queued << ", "
+     << "\"miss_switch\": " << miss_switch << ", "
+     << "\"miss_exec\": " << miss_exec << ", "
+     << "\"queue_wait_ms_total\": " << queue_wait_total_ms() << ", "
+     << "\"batch_wait_ms_total\": " << batch_wait_total_ms() << ", "
+     << "\"switch_stall_ms_total\": " << switch_stall_total_ms() << ", "
      << "\"miss_rate\": " << miss_rate() << ", "
      << "\"miss_rate_per_class\": [";
   for (std::size_t c = 0; c < completed_per_class.size(); ++c) {
@@ -221,6 +294,7 @@ void NodeStats::aggregate() {
   submitted = unroutable;
   completed = dropped = shed = rejected = 0;
   batches = switches = deadline_misses = 0;
+  miss_queued = miss_switch = miss_exec = 0;
   busy_ms = energy_used_mj = switch_ms_total = 0.0;
   for (const auto& [id, s] : per_model) {
     submitted += s.submitted;
@@ -231,10 +305,23 @@ void NodeStats::aggregate() {
     batches += s.batches;
     switches += s.switches;
     deadline_misses += s.deadline_misses;
+    miss_queued += s.miss_queued;
+    miss_switch += s.miss_switch;
+    miss_exec += s.miss_exec;
     busy_ms += s.busy_ms;
     energy_used_mj += s.energy_used_mj;
     switch_ms_total += s.switch_ms_total;
   }
+}
+
+void NodeStats::publish(MetricsRegistry& registry) const {
+  for (const auto& [id, s] : per_model) {
+    MetricLabels labels;
+    labels.add("model", id);
+    s.publish(registry, labels);
+  }
+  registry.counter("node.unroutable").inc(unroutable);
+  registry.gauge("node.sim_end_ms").set(sim_end_ms);
 }
 
 double NodeStats::miss_rate() const {
@@ -283,6 +370,8 @@ std::string NodeStats::summary() const {
      << fmt_f(tail.p99, 1) << " ms\n"
      << "  deadline misses  : " << deadline_misses << " ("
      << fmt_pct(miss_rate()) << ")\n"
+     << "  miss attribution : queued " << miss_queued << ", switch "
+     << miss_switch << ", exec " << miss_exec << "\n"
      << "  session length   : " << fmt_f(sim_end_ms / 1000.0, 1)
      << " s virtual (busy " << fmt_f(busy_ms / 1000.0, 1) << " s)\n"
      << "  energy used      : " << fmt_f(energy_used_mj, 0) << " mJ\n"
@@ -323,6 +412,9 @@ std::string NodeStats::to_json() const {
      << "\"p50_ms\": " << tail.p50 << ", "
      << "\"p99_ms\": " << tail.p99 << ", "
      << "\"deadline_misses\": " << deadline_misses << ", "
+     << "\"miss_queued\": " << miss_queued << ", "
+     << "\"miss_switch\": " << miss_switch << ", "
+     << "\"miss_exec\": " << miss_exec << ", "
      << "\"miss_rate\": " << miss_rate() << ", "
      << "\"sim_end_ms\": " << sim_end_ms << ", "
      << "\"busy_ms\": " << busy_ms << ", "

@@ -1,4 +1,12 @@
 // Aggregated statistics for one serve session, built on common/stats.
+//
+// ServerStats is the SNAPSHOT VIEW of a session's accounting: the serving
+// loops bump counters inline (mirrored 1:1 into a MetricsRegistry via
+// publish(), where the same numbers carry stable labeled names), keep the
+// raw per-request series here so percentiles stay exact, and carry the
+// obs-layer miss attribution — every deadline miss is classified into
+// exactly one of miss_queued / miss_switch / miss_exec, which sum to
+// deadline_misses by construction (see obs/attribution.hpp).
 #pragma once
 
 #include <cstdint>
@@ -6,6 +14,9 @@
 #include <vector>
 
 namespace rt3 {
+
+class MetricsRegistry;
+class MetricLabels;
 
 /// Everything the serving loop records about one session.  Raw per-request
 /// latencies are kept so percentiles are exact, not sketched; at this
@@ -28,6 +39,15 @@ struct ServerStats {
   /// Pattern-set switches performed between batches.
   std::int64_t switches = 0;
   std::int64_t deadline_misses = 0;
+  /// Miss attribution (obs/attribution.hpp): every deadline miss is
+  /// classified into exactly one cause, so the three always sum to
+  /// deadline_misses.  miss_queued = queueing/batching delay killed it;
+  /// miss_switch = drain-then-switch stalls were the marginal cause;
+  /// miss_exec = even a zero-wait solo launch at this level would have
+  /// missed (execution latency alone blows the deadline).
+  std::int64_t miss_queued = 0;
+  std::int64_t miss_switch = 0;
+  std::int64_t miss_exec = 0;
 
   /// Execution backend the session ran on ("analytic" / "measured").
   std::string backend;
@@ -61,6 +81,14 @@ struct ServerStats {
 
   /// Queue-to-completion latency per completed request (ms).
   std::vector<double> latency_ms;
+  /// Per-request latency decomposition, parallel to latency_ms: for every
+  /// completed request, latency_ms[i] == queue_wait_ms[i] +
+  /// batch_wait_ms[i] + switch_stall_req_ms[i] + exec_req_ms[i] (exact up
+  /// to FP rounding; see obs/attribution.hpp for the definitions).
+  std::vector<double> queue_wait_ms;
+  std::vector<double> batch_wait_ms;
+  std::vector<double> switch_stall_req_ms;
+  std::vector<double> exec_req_ms;
   /// Completed requests per governor-level position (fast -> slow).
   std::vector<double> runs_per_level;
   std::vector<std::int64_t> batch_sizes;
@@ -86,6 +114,16 @@ struct ServerStats {
   double switch_percentile(double p) const;
   /// p-th percentile of drain-then-switch lag (0 when no switches).
   double switch_lag_percentile(double p) const;
+  /// Sums over the per-request wait decomposition vectors.
+  double queue_wait_total_ms() const;
+  double batch_wait_total_ms() const;
+  double switch_stall_total_ms() const;
+
+  /// Mirrors every countable total into `registry` under stable labeled
+  /// names (serve.completed{model=...}, serve.miss_switch{...}, ...) and
+  /// fills the latency / wait-decomposition histograms — the scrapeable
+  /// snapshot of this stats view.
+  void publish(MetricsRegistry& registry, const MetricLabels& labels) const;
 
   /// Multi-line human-readable summary.
   std::string summary() const;
@@ -117,6 +155,9 @@ struct NodeStats {
   std::int64_t batches = 0;
   std::int64_t switches = 0;
   std::int64_t deadline_misses = 0;
+  std::int64_t miss_queued = 0;
+  std::int64_t miss_switch = 0;
+  std::int64_t miss_exec = 0;
   double busy_ms = 0.0;
   double energy_used_mj = 0.0;
   double switch_ms_total = 0.0;
@@ -137,6 +178,10 @@ struct NodeStats {
   /// p-th percentile of drain-then-switch lag over ALL models' switches
   /// (0 when no switches happened).
   double switch_lag_percentile(double p) const;
+
+  /// Publishes per-model stats (labeled model=<id>) plus node-level
+  /// gauges into `registry`.
+  void publish(MetricsRegistry& registry) const;
 
   /// Multi-line human-readable summary: node totals + one row per model.
   std::string summary() const;

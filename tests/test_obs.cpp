@@ -1,0 +1,589 @@
+// Observability layer (src/obs/): IntervalAccount overlap accounting,
+// deadline-miss classification, attribution invariants on real serve and
+// node sessions, trace determinism + Chrome-JSON validity, the metrics
+// registry, and stats JSON round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/node.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/stats.hpp"
+#include "serve/traffic.hpp"
+
+namespace rt3 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON syntax checker (objects, arrays, strings, numbers,
+// literals).  The repo emits JSON by hand, so tests validate the full
+// grammar rather than trusting substring checks alone.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    i_ = 0;
+    skip_ws();
+    if (!value()) {
+      return false;
+    }
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[i_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() != ':') {
+        return false;
+      }
+      ++i_;
+      skip_ws();
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++i_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++i_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') {
+      return false;
+    }
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    if (i_ >= s_.size()) {
+      return false;
+    }
+    ++i_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') {
+      ++i_;
+    }
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+
+  bool literal(const std::string& word) {
+    if (s_.compare(i_, word.size(), word) != 0) {
+      return false;
+    }
+    i_ += word.size();
+    return true;
+  }
+
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\n' || s_[i_] == '\t' ||
+            s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+/// Extracts the number following `"key": ` in flat hand-rolled JSON.
+double json_num_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  check(at != std::string::npos, "json_num_field: no key " + key);
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+/// Server over the paper ladder, exactly like the simulate CLI path.
+Server make_paper_server(double capacity_mj, BatchPolicy policy) {
+  const LatencyModel latency = paper_calibrated_latency();
+  ServerConfig cfg;
+  cfg.battery_capacity_mj = capacity_mj;
+  cfg.batch = policy;
+  return Server(cfg, VfTable::odroid_xu3_a7(),
+                Governor::equal_tranches(paper_serve_ladder()), PowerModel(),
+                latency, ModelSpec::paper_transformer(),
+                paper_ladder_sparsities(latency, 115.0));
+}
+
+/// Bursty traffic with a tight-deadline fraction, so sessions produce
+/// misses of more than one class.
+std::vector<Request> tight_traffic(double rate_rps, std::int64_t num_models,
+                                   double duration_ms = 60'000.0) {
+  TrafficConfig tcfg;
+  tcfg.scenario = TrafficScenario::kBurst;
+  tcfg.duration_ms = duration_ms;
+  tcfg.rate_rps = rate_rps;
+  tcfg.deadline_slack_ms = 1'000.0;
+  tcfg.tight_fraction = 0.4;
+  tcfg.tight_slack_ms = 250.0;
+  tcfg.num_models = num_models;
+  return generate_traffic(tcfg);
+}
+
+ModelDeployment paper_deployment(ServerConfig cfg) {
+  const LatencyModel latency = paper_calibrated_latency();
+  ModelDeployment dep;
+  dep.config(cfg)
+      .spec(ModelSpec::paper_transformer())
+      .latency(latency)
+      .sparsities(paper_ladder_sparsities(latency, 115.0));
+  return dep;
+}
+
+// ---------------------------------------------------------------------
+// IntervalAccount
+
+TEST(IntervalAccount, EmptyHasNoOverlap) {
+  IntervalAccount acc;
+  EXPECT_EQ(acc.size(), 0);
+  EXPECT_DOUBLE_EQ(acc.total(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.overlap(0.0, 1e9), 0.0);
+}
+
+TEST(IntervalAccount, OverlapClipsAtBothEnds) {
+  IntervalAccount acc;
+  acc.add(10.0, 20.0);
+  acc.add(30.0, 40.0);
+  EXPECT_EQ(acc.size(), 2);
+  EXPECT_DOUBLE_EQ(acc.total(), 20.0);
+  EXPECT_DOUBLE_EQ(acc.overlap(0.0, 100.0), 20.0);  // covers everything
+  EXPECT_DOUBLE_EQ(acc.overlap(0.0, 15.0), 5.0);    // clips head
+  EXPECT_DOUBLE_EQ(acc.overlap(15.0, 35.0), 10.0);  // spans the gap
+  EXPECT_DOUBLE_EQ(acc.overlap(12.0, 18.0), 6.0);   // inside one interval
+  EXPECT_DOUBLE_EQ(acc.overlap(20.0, 30.0), 0.0);   // exactly the gap
+  EXPECT_DOUBLE_EQ(acc.overlap(40.0, 50.0), 0.0);   // past the end
+  EXPECT_DOUBLE_EQ(acc.overlap(35.0, 35.0), 0.0);   // empty query window
+}
+
+TEST(IntervalAccount, IgnoresZeroLengthAndRejectsOutOfOrder) {
+  IntervalAccount acc;
+  acc.add(5.0, 5.0);  // zero-length: ignored
+  EXPECT_EQ(acc.size(), 0);
+  acc.add(10.0, 20.0);
+  acc.add(20.0, 25.0);  // abutting is fine (start == previous end)
+  EXPECT_EQ(acc.size(), 2);
+  EXPECT_THROW(acc.add(15.0, 30.0), CheckError);  // overlaps the past
+}
+
+// ---------------------------------------------------------------------
+// attribute_wait / classify_miss
+
+TEST(Attribution, FourPartsSumToLatency) {
+  IntervalAccount switches;
+  IntervalAccount execs;
+  execs.add(0.0, 50.0);      // another batch runs while we wait
+  switches.add(50.0, 60.0);  // then a pattern-set switch stalls us
+  // Request: arrives at 10, starts at 80, ends at 120.
+  const WaitBreakdown w = attribute_wait(switches, execs, 10.0, 80.0, 120.0);
+  EXPECT_DOUBLE_EQ(w.queue_wait_ms, 40.0);    // [10, 50) of exec
+  EXPECT_DOUBLE_EQ(w.switch_stall_ms, 10.0);  // [50, 60) of switch
+  EXPECT_DOUBLE_EQ(w.batch_wait_ms, 20.0);    // [60, 80) idle hold
+  EXPECT_DOUBLE_EQ(w.exec_ms, 40.0);          // [80, 120) own batch
+  EXPECT_DOUBLE_EQ(
+      w.queue_wait_ms + w.batch_wait_ms + w.switch_stall_ms + w.exec_ms,
+      120.0 - 10.0);
+}
+
+TEST(Attribution, ClassifiesEachMissCauseExactlyOnce) {
+  WaitBreakdown w;
+  w.exec_ms = 40.0;
+  w.switch_stall_ms = 10.0;
+  // Met: end before deadline.
+  EXPECT_EQ(classify_miss(w, 0.0, 90.0, 100.0), MissClass::kNone);
+  // Exec: even a zero-wait solo launch (arrival + exec) blows it.
+  EXPECT_EQ(classify_miss(w, 0.0, 120.0, 30.0), MissClass::kExec);
+  // Switch: without the 10 ms stall it would have met the deadline.
+  EXPECT_EQ(classify_miss(w, 0.0, 105.0, 100.0), MissClass::kSwitch);
+  // Queued: stall removal is not enough, but the level was fast enough.
+  EXPECT_EQ(classify_miss(w, 0.0, 130.0, 100.0), MissClass::kQueued);
+  EXPECT_STREQ(miss_class_name(MissClass::kNone), "none");
+  EXPECT_STREQ(miss_class_name(MissClass::kQueued), "queued");
+  EXPECT_STREQ(miss_class_name(MissClass::kSwitch), "switch");
+  EXPECT_STREQ(miss_class_name(MissClass::kExec), "exec");
+}
+
+TEST(Attribution, SessionInvariantsHoldOnRealTraffic) {
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  const ServerStats stats = server.serve(tight_traffic(12.0, 1));
+  ASSERT_GT(stats.completed, 0);
+  ASSERT_GT(stats.deadline_misses, 0);  // traffic is tight enough to miss
+  // Every miss lands in exactly one class.
+  EXPECT_EQ(stats.miss_queued + stats.miss_switch + stats.miss_exec,
+            stats.deadline_misses);
+  // The decomposition vectors are parallel to latency_ms and each
+  // request's four parts sum to its latency.
+  const std::size_t n = stats.latency_ms.size();
+  ASSERT_EQ(stats.queue_wait_ms.size(), n);
+  ASSERT_EQ(stats.batch_wait_ms.size(), n);
+  ASSERT_EQ(stats.switch_stall_req_ms.size(), n);
+  ASSERT_EQ(stats.exec_req_ms.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double parts = stats.queue_wait_ms[i] + stats.batch_wait_ms[i] +
+                         stats.switch_stall_req_ms[i] + stats.exec_req_ms[i];
+    EXPECT_NEAR(parts, stats.latency_ms[i], 1e-6);
+  }
+  // The totals are the sums of the same vectors, so the summed
+  // decomposition also closes against total latency.
+  double latency_total = 0.0;
+  for (double x : stats.latency_ms) {
+    latency_total += x;
+  }
+  double exec_total = 0.0;
+  for (double x : stats.exec_req_ms) {
+    exec_total += x;
+  }
+  EXPECT_NEAR(stats.queue_wait_total_ms() + stats.batch_wait_total_ms() +
+                  stats.switch_stall_total_ms() + exec_total,
+              latency_total, 1e-6 * static_cast<double>(n + 1));
+}
+
+// ---------------------------------------------------------------------
+// Tracing: overhead contract, determinism, Chrome JSON validity
+
+TEST(Trace, OffPathIsBitwiseIdenticalToUntraced) {
+  const std::vector<Request> schedule = tight_traffic(10.0, 1);
+  Server plain = make_paper_server(9'000.0, {4, 30.0});
+  const ServerStats untraced = plain.serve(schedule);
+
+  Server traced_server = make_paper_server(9'000.0, {4, 30.0});
+  TraceRecorder trace(/*record_wall=*/false);
+  traced_server.set_trace(&trace);
+  const ServerStats traced = traced_server.serve(schedule);
+
+  EXPECT_GT(trace.num_events(), 0);
+  EXPECT_EQ(untraced.to_json(), traced.to_json());
+}
+
+TEST(Trace, SameSeedSameTraceBytes) {
+  const std::vector<Request> schedule = tight_traffic(10.0, 1);
+  std::vector<std::string> dumps;
+  for (int run = 0; run < 2; ++run) {
+    Server server = make_paper_server(9'000.0, {4, 30.0});
+    TraceRecorder trace(/*record_wall=*/false);
+    server.set_trace(&trace);
+    server.serve(schedule);
+    dumps.push_back(trace.to_chrome_json());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(Trace, ChromeJsonIsValidAndCarriesLifecycle) {
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  TraceRecorder trace(/*record_wall=*/false);
+  server.set_trace(&trace);
+  const ServerStats stats = server.serve(tight_traffic(10.0, 1));
+
+  const std::string json = trace.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // One complete request span per completed request.
+  std::int64_t request_spans = 0;
+  std::int64_t miss_instants = 0;
+  for (const TraceEvent& e : trace.merged()) {
+    if (e.name == "request" && e.ph == 'X') {
+      ++request_spans;
+    }
+    if (e.name == "miss") {
+      ++miss_instants;
+    }
+    EXPECT_GE(e.ts_ms, 0.0);
+  }
+  EXPECT_EQ(request_spans, stats.completed);
+  EXPECT_EQ(miss_instants, stats.deadline_misses);
+  // Track metadata names the governor lane.
+  EXPECT_NE(json.find("node: governor + battery"), std::string::npos);
+}
+
+TEST(Trace, AttachIsStickyUntilExplicitDetach) {
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  TraceRecorder trace(/*record_wall=*/false);
+  server.set_trace(&trace);
+  const std::vector<Request> schedule = tight_traffic(10.0, 1);
+  server.serve(schedule);
+  const std::int64_t events_after_first = trace.num_events();
+  EXPECT_GT(events_after_first, 0);
+  // The recorder stays attached across sessions...
+  server.serve(schedule);
+  const std::int64_t events_after_second = trace.num_events();
+  EXPECT_GT(events_after_second, events_after_first);
+  // ...until explicitly detached; then a session records nothing.
+  server.set_trace(nullptr);
+  server.serve(schedule);
+  EXPECT_EQ(trace.num_events(), events_after_second);
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+
+TEST(Metrics, LabelsAreOrderIndependent) {
+  MetricLabels ab;
+  ab.add("policy", "edf").add("backend", "analytic");
+  MetricLabels ba;
+  ba.add("backend", "analytic").add("policy", "edf");
+  EXPECT_EQ(ab.suffix(), ba.suffix());
+  EXPECT_EQ(ab.suffix(), "{backend=\"analytic\",policy=\"edf\"}");
+  EXPECT_EQ(MetricLabels{}.suffix(), "");
+}
+
+TEST(Metrics, CountersAndGaugesRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("serve.completed").inc(3);
+  registry.counter("serve.completed").inc();
+  EXPECT_EQ(registry.counter_value("serve.completed"), 4);
+  MetricLabels labels;
+  labels.add("model", std::int64_t{7});
+  registry.counter("serve.completed", labels).inc(10);
+  EXPECT_EQ(registry.counter_value("serve.completed", labels), 10);
+  EXPECT_EQ(registry.counter_value("serve.completed"), 4);  // unlabeled
+  EXPECT_EQ(registry.counter_value("serve.missing"), 0);
+  registry.gauge("battery.fraction").set(0.25);
+  EXPECT_EQ(registry.size(), 3);
+}
+
+TEST(Metrics, HistogramBucketsAreLogScale) {
+  Histogram h(/*lo=*/1.0, /*num_buckets=*/4);  // edges 1,2,4,8,16 + rails
+  h.observe(0.5);   // underflow rail
+  h.observe(1.0);   // [1, 2)
+  h.observe(3.9);   // [2, 4)
+  h.observe(100.0); // overflow rail
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.4);
+  const std::vector<std::int64_t>& buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 6U);
+  EXPECT_EQ(buckets.front(), 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 1);
+  EXPECT_EQ(buckets.back(), 1);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 4.0);
+}
+
+TEST(Metrics, RegistryJsonIsValidWithLabeledKeys) {
+  MetricsRegistry registry;
+  MetricLabels labels;
+  labels.add("policy", "edf-prio");
+  registry.counter("serve.completed", labels).inc(5);
+  registry.histogram("serve.latency_ms", labels).observe(12.0);
+  const std::string json = registry.to_json();
+  // Label suffixes embed quotes; they must arrive escaped, still valid.
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("serve.completed{policy=\\\"edf-prio\\\"}"),
+            std::string::npos);
+}
+
+TEST(Metrics, ServeSessionPublishesMirrorOfStats) {
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  MetricsRegistry registry;
+  server.set_metrics(&registry);
+  const ServerStats stats = server.serve(tight_traffic(10.0, 1));
+  MetricLabels labels;
+  labels.add("policy", stats.policy).add("backend", stats.backend);
+  EXPECT_EQ(registry.counter_value("serve.completed", labels),
+            stats.completed);
+  EXPECT_EQ(registry.counter_value("serve.deadline_misses", labels),
+            stats.deadline_misses);
+  EXPECT_EQ(registry.counter_value("serve.miss_queued", labels) +
+                registry.counter_value("serve.miss_switch", labels) +
+                registry.counter_value("serve.miss_exec", labels),
+            stats.deadline_misses);
+  EXPECT_TRUE(JsonChecker(registry.to_json()).valid());
+}
+
+// ---------------------------------------------------------------------
+// Stats JSON round-trips and node aggregation
+
+TEST(ServerStatsJson, RoundTripsThroughParser) {
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  const ServerStats stats = server.serve(tight_traffic(10.0, 1));
+  const std::string json = stats.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_EQ(static_cast<std::int64_t>(json_num_field(json, "completed")),
+            stats.completed);
+  EXPECT_EQ(
+      static_cast<std::int64_t>(json_num_field(json, "deadline_misses")),
+      stats.deadline_misses);
+  EXPECT_EQ(static_cast<std::int64_t>(json_num_field(json, "miss_queued")),
+            stats.miss_queued);
+  EXPECT_EQ(static_cast<std::int64_t>(json_num_field(json, "miss_switch")),
+            stats.miss_switch);
+  EXPECT_EQ(static_cast<std::int64_t>(json_num_field(json, "miss_exec")),
+            stats.miss_exec);
+  // to_json renders doubles at ostream default precision (6 sig figs).
+  EXPECT_NEAR(json_num_field(json, "miss_rate"), stats.miss_rate(), 1e-5);
+  // summary() surfaces the attribution line too.
+  EXPECT_NE(stats.summary().find("miss attribution"), std::string::npos);
+}
+
+TEST(NodeStats, AggregateTotalsEqualPerModelSums) {
+  NodeConfig ncfg;
+  ncfg.battery_capacity_mj = 16'000.0;
+  ServeNode node(ncfg, VfTable::odroid_xu3_a7(),
+                 Governor::equal_tranches(paper_serve_ladder()),
+                 PowerModel());
+  ServerConfig cfg;
+  cfg.battery_capacity_mj = ncfg.battery_capacity_mj;
+  cfg.batch = {4, 30.0};
+  node.add_model(0, paper_deployment(cfg));
+  node.add_model(1, paper_deployment(cfg));
+  NodeStats stats = node.serve(tight_traffic(10.0, 2));
+  ASSERT_EQ(stats.per_model.size(), 2U);
+  ASSERT_GT(stats.completed, 0);
+
+  std::int64_t submitted = stats.unroutable;
+  std::int64_t completed = 0;
+  std::int64_t misses = 0;
+  std::int64_t queued = 0;
+  std::int64_t switched = 0;
+  std::int64_t exec = 0;
+  double energy = 0.0;
+  for (const auto& [id, s] : stats.per_model) {
+    submitted += s.submitted;
+    completed += s.completed;
+    misses += s.deadline_misses;
+    queued += s.miss_queued;
+    switched += s.miss_switch;
+    exec += s.miss_exec;
+    energy += s.energy_used_mj;
+    // Per-shard attribution closes as well.
+    EXPECT_EQ(s.miss_queued + s.miss_switch + s.miss_exec,
+              s.deadline_misses);
+  }
+  EXPECT_EQ(stats.submitted, submitted);
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.deadline_misses, misses);
+  EXPECT_EQ(stats.miss_queued, queued);
+  EXPECT_EQ(stats.miss_switch, switched);
+  EXPECT_EQ(stats.miss_exec, exec);
+  EXPECT_NEAR(stats.energy_used_mj, energy, 1e-9);
+  EXPECT_EQ(stats.miss_queued + stats.miss_switch + stats.miss_exec,
+            stats.deadline_misses);
+  EXPECT_TRUE(JsonChecker(stats.to_json()).valid());
+}
+
+TEST(NodeStats, TracedNodeSessionStaysBitwiseIdentical) {
+  const std::vector<Request> schedule = tight_traffic(10.0, 2);
+  const auto build = [] {
+    NodeConfig ncfg;
+    ncfg.battery_capacity_mj = 16'000.0;
+    auto node = std::make_unique<ServeNode>(
+        ncfg, VfTable::odroid_xu3_a7(),
+        Governor::equal_tranches(paper_serve_ladder()), PowerModel());
+    ServerConfig cfg;
+    cfg.battery_capacity_mj = ncfg.battery_capacity_mj;
+    cfg.batch = BatchPolicy{4, 30.0};
+    node->add_model(0, paper_deployment(cfg));
+    node->add_model(1, paper_deployment(cfg));
+    return node;
+  };
+  auto plain = build();
+  const NodeStats untraced = plain->serve(schedule);
+
+  auto traced_node = build();
+  TraceRecorder trace(/*record_wall=*/false);
+  traced_node->set_trace(&trace);
+  const NodeStats traced = traced_node->serve(schedule);
+
+  EXPECT_GT(trace.num_events(), 0);
+  EXPECT_EQ(untraced.to_json(), traced.to_json());
+  EXPECT_TRUE(JsonChecker(trace.to_chrome_json()).valid());
+  // Per-model lanes show up as named tracks.
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"model 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"model 1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rt3

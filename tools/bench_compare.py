@@ -37,31 +37,36 @@ SECTIONS = ("scenarios", "node_scenarios", "overload")
 
 
 def load_cells(path):
-    """Returns {(section, row, column): {"miss_rate": x, "p99_ms": y}}."""
+    """Returns {(section, row, column): {"miss_rate": x, "p99_ms": y}}.
+
+    Format problems are collected across the WHOLE file and reported in
+    one pass — one message per bad section/row/cell — so a mangled file
+    surfaces every defect in a single CI run instead of one per rerun.
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    errors = []
     if not isinstance(doc.get("scenarios"), dict) or not doc["scenarios"]:
-        print(f"bench_compare: {path} has no 'scenarios' object",
-              file=sys.stderr)
-        sys.exit(2)
+        errors.append(f"{path} has no 'scenarios' object")
     cells = {}
     for section in SECTIONS:
         rows = doc.get(section)
         if rows is None:
-            continue
+            continue  # optional section absent
         if not isinstance(rows, dict):
-            print(f"bench_compare: section '{section}' in {path} is not "
-                  f"an object", file=sys.stderr)
-            sys.exit(2)
+            if section != "scenarios":  # scenarios already reported above
+                errors.append(
+                    f"section '{section}' in {path} is not an object")
+            continue
         for row, columns in rows.items():
             if not isinstance(columns, dict):
-                print(f"bench_compare: row '{section}/{row}' in {path} is "
-                      f"not an object", file=sys.stderr)
-                sys.exit(2)
+                errors.append(
+                    f"row '{section}/{row}' in {path} is not an object")
+                continue
             for column, cell in columns.items():
                 try:
                     cells[(section, row, column)] = {
@@ -69,9 +74,15 @@ def load_cells(path):
                         "p99_ms": float(cell["p99_ms"]),
                     }
                 except (KeyError, TypeError, ValueError) as e:
-                    print(f"bench_compare: bad cell {section}/{row}/"
-                          f"{column} in {path}: {e}", file=sys.stderr)
-                    sys.exit(2)
+                    errors.append(
+                        f"bad cell {section}/{row}/{column} in {path}: "
+                        f"{e!r}")
+    if errors:
+        for e in errors:
+            print(f"bench_compare: {e}", file=sys.stderr)
+        print(f"bench_compare: {len(errors)} format problem(s) in {path}",
+              file=sys.stderr)
+        sys.exit(2)
     return cells
 
 
@@ -93,11 +104,22 @@ def main():
         print("bench_compare: no (scenario, policy) cells in common",
               file=sys.stderr)
         sys.exit(2)
+    # Report EVERY missing and extra cell in one pass (one line each) so a
+    # renamed grid surfaces completely in a single CI run.  Missing cells
+    # are a gate hole — fatal.  Extra candidate-only cells are expected
+    # when a PR adds a grid before regenerating the baseline, so they only
+    # warn.
     missing = sorted(set(base) - set(cand))
+    for section, row, column in missing:
+        print(f"  [missing] {section:14s} {row:8s} {column:9s} "
+              f"in baseline but not candidate", file=sys.stderr)
+    extra = sorted(set(cand) - set(base))
+    for section, row, column in extra:
+        print(f"  [extra]   {section:14s} {row:8s} {column:9s} "
+              f"in candidate but not baseline (not gated)")
     if missing:
-        # A silently vanished cell is a gate hole, not a pass.
-        print(f"bench_compare: candidate is missing baseline cells: "
-              f"{missing}", file=sys.stderr)
+        print(f"\nbench_compare: candidate is missing {len(missing)} "
+              f"baseline cell(s)", file=sys.stderr)
         sys.exit(2)
 
     failures = []

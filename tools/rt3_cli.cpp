@@ -41,6 +41,11 @@
 //                            could meet (counted separately from shed)
 //         --producers N      concurrent producer threads     (2)
 //         --seed S           traffic seed                    (7)
+//         --trace FILE       write the session's request/batch/switch
+//                            lifecycle as Chrome trace-event JSON
+//                            (load in ui.perfetto.dev)
+//         --metrics FILE     write the session's metrics registry
+//                            (counters/gauges/histograms) as JSON
 //       Flags also accept --flag=value form (common/args.hpp, shared with
 //       the bench executables).
 //   rt3 node [--models N] ...                         multi-model serving
@@ -49,14 +54,18 @@
 //       Takes every `rt3 serve` flag (applied per model) plus:
 //         --models N         resident models on the node     (3)
 //   rt3 levels                                        print the V/F ladder
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/args.hpp"
+#include "common/check.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "exec/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "serve/node.hpp"
 #include "serve/policy.hpp"
@@ -174,6 +183,32 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Writes a session's metrics-registry JSON to `path`.
+void write_metrics_json(const MetricsRegistry& metrics,
+                        const std::string& path) {
+  std::ofstream out(path);
+  check(out.good(), "cannot open metrics output file: " + path);
+  out << metrics.to_json() << "\n";
+}
+
+/// Prints the one-line trace/metrics epilogue after a traced session.
+void report_observability(const TraceRecorder* trace,
+                          const std::string& trace_path,
+                          const MetricsRegistry* metrics,
+                          const std::string& metrics_path) {
+  if (trace != nullptr) {
+    trace->write_chrome_json(trace_path);
+    std::cout << "\ntrace: " << trace->num_events() << " events -> "
+              << trace_path
+              << " (Chrome trace-event JSON; load in ui.perfetto.dev)\n";
+  }
+  if (metrics != nullptr) {
+    write_metrics_json(*metrics, metrics_path);
+    std::cout << "metrics: " << metrics->size() << " series -> "
+              << metrics_path << "\n";
+  }
+}
+
 /// The per-model session flags shared by `rt3 serve` and `rt3 node`.
 ServeSessionConfig parse_session_config(const std::vector<std::string>& args) {
   ServeSessionConfig scfg;
@@ -215,9 +250,21 @@ int cmd_serve(const std::vector<std::string>& args) {
   ServeSessionConfig scfg = parse_session_config(args);
   TrafficConfig tcfg = parse_traffic_config(args);
   const std::int64_t producers = arg_int(args, "--producers", 2);
+  const std::string trace_path = arg_string(args, "--trace", "");
+  const std::string metrics_path = arg_string(args, "--metrics", "");
 
   const std::vector<Request> schedule = generate_traffic(tcfg);
   ServeSession session(scfg);
+  // Wall stamps are fine here: the CLI is for humans, not byte-compare
+  // tests (which construct their own recorder with record_wall off).
+  TraceRecorder trace(/*record_wall=*/true);
+  MetricsRegistry metrics;
+  if (!trace_path.empty()) {
+    session.server().set_trace(&trace);
+  }
+  if (!metrics_path.empty()) {
+    session.server().set_metrics(&metrics);
+  }
   std::cout << "serving " << schedule.size() << " requests ("
             << traffic_scenario_name(tcfg.scenario) << ", "
             << fmt_f(tcfg.rate_rps, 1) << " req/s mean, "
@@ -270,6 +317,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::cout << "\nbattery died mid-session: " << stats.dropped
               << " requests dropped (accounted above).\n";
   }
+  report_observability(trace_path.empty() ? nullptr : &trace, trace_path,
+                       metrics_path.empty() ? nullptr : &metrics,
+                       metrics_path);
   return 0;
 }
 
@@ -278,9 +328,19 @@ int cmd_node(const std::vector<std::string>& args) {
   TrafficConfig tcfg = parse_traffic_config(args);
   tcfg.num_models = arg_int(args, "--models", 3);
   const std::int64_t producers = arg_int(args, "--producers", 2);
+  const std::string trace_path = arg_string(args, "--trace", "");
+  const std::string metrics_path = arg_string(args, "--metrics", "");
 
   const std::vector<Request> schedule = generate_traffic(tcfg);
   NodeSession session(scfg, tcfg.num_models);
+  TraceRecorder trace(/*record_wall=*/true);
+  MetricsRegistry metrics;
+  if (!trace_path.empty()) {
+    session.node().set_trace(&trace);
+  }
+  if (!metrics_path.empty()) {
+    session.node().set_metrics(&metrics);
+  }
   std::cout << "node: " << tcfg.num_models
             << " backbone-resident models behind ONE "
             << fmt_f(scfg.battery_capacity_mj, 0)
@@ -310,6 +370,9 @@ int cmd_node(const std::vector<std::string>& args) {
     std::cout << "\nbattery died mid-session: " << stats.dropped
               << " requests dropped (accounted per model above).\n";
   }
+  report_observability(trace_path.empty() ? nullptr : &trace, trace_path,
+                       metrics_path.empty() ? nullptr : &metrics,
+                       metrics_path);
   return 0;
 }
 
@@ -324,7 +387,8 @@ int usage() {
       "           [--aging R] [--governor-margin F] [--governor-batch N]\n"
       "           [--capacity MJ] [--t MS] [--rate RPS] [--duration MS]\n"
       "           [--slack MS] [--batch N] [--wait MS] [--threads N] [--shed]\n"
-      "           [--admit] [--producers N] [--seed S]\n"
+      "           [--admit] [--producers N] [--seed S] [--trace FILE]\n"
+      "           [--metrics FILE]\n"
       "                                 (flags accept --flag=value too)\n"
       "                                                 battery-aware serving\n"
       "  node     [--models N] + every serve flag       multi-model node:\n"
