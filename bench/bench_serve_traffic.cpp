@@ -33,6 +33,8 @@
 #include "common/check.hpp"
 #include "common/table.hpp"
 #include "common/wall_time.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/node.hpp"
 #include "serve/policy.hpp"
@@ -208,6 +210,8 @@ Cell run_overload_cell(bool admit, std::int64_t repeats, std::uint64_t seed) {
 /// on violation.
 struct ObsCell {
   std::int64_t trace_events = 0;
+  std::int64_t telemetry_points = 0;
+  std::int64_t slo_breaches = 0;
   double wall_off_ms = 0.0;
   double wall_on_ms = 0.0;
 };
@@ -218,22 +222,40 @@ ObsCell run_observability_cell(std::uint64_t seed) {
   ServeSessionConfig scfg;
   scfg.scheduler.policy = SchedulingPolicy::kEdf;
   ObsCell out;
-  // Trace-off reference (single-threaded serve keeps the timing clean).
+  // Obs-off reference (single-threaded serve keeps the timing clean).
   ServeSession off(scfg);
   const auto t0 = wall_now();
   const ServerStats stats_off = off.server().serve(schedule);
   out.wall_off_ms = wall_ms_since(t0);
-  // Trace-on run; virtual stamps only, so the trace itself is also
-  // deterministic.
+  // Full-observability run: trace + telemetry + SLO monitor all attached.
+  // Virtual stamps only, so every artifact is deterministic too.
   ServeSession on(scfg);
   TraceRecorder trace(/*record_wall=*/false);
+  TelemetrySampler telemetry{TelemetryConfig{}};
+  SloMonitor slo(SloMonitor::default_rules());
   on.server().set_trace(&trace);
+  on.server().set_telemetry(&telemetry);
+  on.server().set_slo(&slo);
   const auto t1 = wall_now();
   const ServerStats stats_on = on.server().serve(schedule);
   out.wall_on_ms = wall_ms_since(t1);
   check(stats_off.to_json() == stats_on.to_json(),
-        "bench: tracing perturbed serving results");
+        "bench: observability layer perturbed serving results");
+  // Telemetry itself must be bit-deterministic: a repeat over the same
+  // schedule yields a byte-identical JSON dump.
+  ServeSession rep(scfg);
+  TelemetrySampler telemetry2{TelemetryConfig{}};
+  SloMonitor slo2(SloMonitor::default_rules());
+  rep.server().set_telemetry(&telemetry2);
+  rep.server().set_slo(&slo2);
+  rep.server().serve(schedule);
+  check(telemetry.to_json() == telemetry2.to_json(),
+        "bench: telemetry dump not deterministic across repeats");
+  check(slo.to_json() == slo2.to_json(),
+        "bench: slo episodes not deterministic across repeats");
   out.trace_events = trace.num_events();
+  out.telemetry_points = telemetry.num_points();
+  out.slo_breaches = static_cast<std::int64_t>(slo.breaches());
   return out;
 }
 
@@ -367,19 +389,26 @@ int main(int argc, char** argv) {
   }
   json += "\n    }\n  },\n";
 
-  // Observability cell: tracing must be pure observation (byte-identical
-  // stats; the check inside aborts otherwise) with bounded overhead.
+  // Observability cell: trace + telemetry + SLO must be pure observation
+  // (byte-identical stats; the checks inside abort otherwise) and the
+  // telemetry/SLO dumps must be bit-deterministic across repeats.
   const ObsCell obs = run_observability_cell(seed);
   json += "  \"observability\": {\"trace_off_identical\": true, "
-          "\"trace_events\": " +
+          "\"telemetry_deterministic\": true, \"trace_events\": " +
           std::to_string(obs.trace_events) +
+          ", \"telemetry_points\": " + std::to_string(obs.telemetry_points) +
+          ", \"slo_breaches\": " + std::to_string(obs.slo_breaches) +
           ", \"wall_off_ms\": " + fmt_f(obs.wall_off_ms, 2) +
           ", \"wall_on_ms\": " + fmt_f(obs.wall_on_ms, 2) + "}\n}\n";
   std::cout << t.str();
-  std::cout << "\nobservability: trace-off stats byte-identical to traced "
-            << "run: yes; trace-on\nrecorded " << obs.trace_events
-            << " events (" << fmt_f(obs.wall_off_ms, 1) << " ms untraced vs "
-            << fmt_f(obs.wall_on_ms, 1) << " ms traced wall).\n";
+  std::cout << "\nobservability: obs-off stats byte-identical to fully "
+            << "instrumented run: yes;\ntelemetry dump bit-deterministic "
+            << "across repeats: yes.  Instrumented run\nrecorded "
+            << obs.trace_events << " trace events, " << obs.telemetry_points
+            << " telemetry points, " << obs.slo_breaches
+            << " SLO breach(es)\n(" << fmt_f(obs.wall_off_ms, 1)
+            << " ms bare vs " << fmt_f(obs.wall_on_ms, 1)
+            << " ms instrumented wall).\n";
 
   std::ofstream out(out_path);
   out << json;

@@ -32,7 +32,26 @@ std::string MetricLabels::suffix() const {
   }
   std::string out = "{";
   for (std::size_t i = 0; i < kv_.size(); ++i) {
-    out += (i ? "," : "") + kv_[i].first + "=\"" + kv_[i].second + "\"";
+    out += (i ? "," : "") + kv_[i].first + "=\"";
+    // Prometheus exposition escaping; a no-op for ordinary values, and
+    // it keeps `"` / `\` / newline inside a value from corrupting the
+    // key (the suffix IS the metric identity).
+    for (const char c : kv_[i].second) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    out += "\"";
   }
   return out + "}";
 }
@@ -145,6 +164,105 @@ std::string MetricsRegistry::to_json() const {
     first = false;
   }
   os << "}}";
+  return os.str();
+}
+
+namespace {
+
+/// Sanitizes a metric name to the Prometheus charset [a-zA-Z0-9_:]
+/// (dots become underscores; a leading digit gets a '_' prefix).
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Splits a stored registry key into base name and `{...}` label suffix.
+void split_key(const std::string& key, std::string* name,
+               std::string* labels) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *name = key;
+    labels->clear();
+  } else {
+    *name = key.substr(0, brace);
+    *labels = key.substr(brace);
+  }
+}
+
+/// Merges an `le` label into an existing (possibly empty) label suffix.
+std::string with_le(const std::string& labels, const std::string& le) {
+  if (labels.empty()) {
+    return "{le=\"" + le + "\"}";
+  }
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  // Map keys sort a bare name directly before its labeled variants
+  // ('{' > every name character we emit), so one pass emits each
+  // family's TYPE line exactly once, before its samples.
+  std::string family;
+  for (const auto& [key, c] : counters_) {
+    std::string name, labels;
+    split_key(key, &name, &labels);
+    const std::string pname = prom_name(name);
+    if (pname != family) {
+      os << "# TYPE " << pname << " counter\n";
+      family = pname;
+    }
+    os << pname << labels << " " << c.value() << "\n";
+  }
+  family.clear();
+  for (const auto& [key, g] : gauges_) {
+    std::string name, labels;
+    split_key(key, &name, &labels);
+    const std::string pname = prom_name(name);
+    if (pname != family) {
+      os << "# TYPE " << pname << " gauge\n";
+      family = pname;
+    }
+    os << pname << labels << " " << trace_json_num(g.value()) << "\n";
+  }
+  family.clear();
+  for (const auto& [key, h] : histograms_) {
+    std::string name, labels;
+    split_key(key, &name, &labels);
+    const std::string pname = prom_name(name);
+    if (pname != family) {
+      os << "# TYPE " << pname << " histogram\n";
+      family = pname;
+    }
+    const auto& buckets = h.buckets();
+    std::int64_t cum = 0;
+    // Bucket i (underflow = 0 .. last finite = n) has upper edge
+    // bucket_lo(i + 1); the overflow bucket folds into +Inf.
+    for (std::size_t i = 0; i + 1 < buckets.size(); ++i) {
+      cum += buckets[i];
+      os << pname << "_bucket"
+         << with_le(labels,
+                    trace_json_num(h.bucket_lo(
+                        static_cast<std::int64_t>(i) + 1)))
+         << " " << cum << "\n";
+    }
+    cum += buckets.back();
+    os << pname << "_bucket" << with_le(labels, "+Inf") << " " << cum
+       << "\n";
+    os << pname << "_sum" << labels << " " << trace_json_num(h.sum())
+       << "\n";
+    os << pname << "_count" << labels << " " << h.count() << "\n";
+  }
   return os.str();
 }
 

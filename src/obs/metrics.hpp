@@ -35,6 +35,9 @@ class MetricLabels {
   MetricLabels& add(const std::string& key, std::int64_t value);
 
   /// Canonical suffix: "" when empty, else `{k="v",...}` sorted by key.
+  /// Values are escaped Prometheus-style (`\\`, `\"`, `\n`), so the
+  /// suffix is unambiguous to parse and renders verbatim in both the
+  /// JSON and text-exposition exports.
   std::string suffix() const;
   bool empty() const { return kv_.empty(); }
 
@@ -75,6 +78,7 @@ class Histogram {
 
   std::int64_t count() const { return count_; }
   double sum() const { return sum_; }
+  double lo() const { return lo_; }
   double mean() const;
   /// Inclusive lower edge of bucket i (0 = underflow, so edge 0 is 0).
   double bucket_lo(std::int64_t i) const;
@@ -110,6 +114,15 @@ class MetricsRegistry {
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
   /// in canonical sorted order.
   std::string to_json() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one `# TYPE`
+  /// line per metric family, names sanitized to [a-zA-Z0-9_:], label
+  /// values escaped per the exposition rules, histograms rendered as
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.  (One
+  /// semantic nuance: rt3 buckets are lower-inclusive, Prometheus `le`
+  /// is upper-inclusive, so a value exactly on an edge reports in the
+  /// next bucket up.)
+  std::string to_prometheus() const;
 
  private:
   std::map<std::string, Counter> counters_;

@@ -67,9 +67,10 @@ TraceEvent& TraceEvent::arg(const std::string& key,
 }
 
 TraceRecorder::TraceRecorder(bool record_wall)
-    : recorder_id_(next_recorder_id()),
-      t0_(wall_now()),
-      record_wall_(record_wall) {}
+    : TraceRecorder(TraceConfig{record_wall, 0}) {}
+
+TraceRecorder::TraceRecorder(const TraceConfig& config)
+    : recorder_id_(next_recorder_id()), t0_(wall_now()), config_(config) {}
 
 TraceRecorder::Buffer* TraceRecorder::local_buffer() {
   // Cache keyed by a unique recorder id, not the address: a recorder
@@ -87,6 +88,12 @@ TraceRecorder::Buffer* TraceRecorder::local_buffer() {
 }
 
 void TraceRecorder::record(TraceEvent event) {
+  if (config_.max_events > 0 &&
+      admitted_.fetch_add(1, std::memory_order_relaxed) >=
+          config_.max_events) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   local_buffer()->events.push_back(std::move(event));
 }
 
@@ -195,7 +202,10 @@ std::string TraceRecorder::to_chrome_json() const {
     os << "}";
     first = false;
   }
-  os << "\n]}\n";
+  // Footer: how complete this trace is.  Extra top-level keys are legal
+  // in the JSON-object trace format and ignored by Perfetto.
+  os << "\n], \"rt3\": {\"max_events\": " << config_.max_events
+     << ", \"dropped_events\": " << dropped_events() << "}}\n";
   return os.str();
 }
 

@@ -24,6 +24,7 @@
 // observability cell in bench_serve_traffic).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -71,14 +72,33 @@ std::string trace_json_num(double value);
 /// by the trace and metrics exporters.
 std::string trace_json_escape(const std::string& s);
 
+struct TraceConfig {
+  /// Record nondeterministic host wall-clock args on events.
+  bool record_wall = false;
+  /// Hard cap on stored events (0 = unbounded).  Once `max_events` have
+  /// been accepted, further record() calls are dropped and counted —
+  /// long diurnal runs stay O(max_events) instead of growing without
+  /// bound.  Admission order is the arrival order at the recorder (a
+  /// deterministic serving session admits the same prefix every run).
+  std::int64_t max_events = 0;
+};
+
 /// Collects TraceEvents into per-thread buffers and exports them merged
 /// in canonical order as Chrome trace-event JSON.
 class TraceRecorder {
  public:
   explicit TraceRecorder(bool record_wall = false);
+  explicit TraceRecorder(const TraceConfig& config);
 
-  /// Appends an event to the calling thread's buffer.
+  /// Appends an event to the calling thread's buffer; drops it (and
+  /// counts the drop) once the max_events cap is reached.
   void record(TraceEvent event);
+
+  std::int64_t max_events() const { return config_.max_events; }
+  /// Events dropped at the max_events cap so far.
+  std::int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Publishes the driver loop's virtual clock; components without clock
   /// access (batcher, router, engine, backend) stamp events with this.
@@ -87,7 +107,7 @@ class TraceRecorder {
 
   /// True when events should carry host wall-clock args (nondeterministic
   /// but informative; off for byte-identical trace comparisons).
-  bool record_wall() const { return record_wall_; }
+  bool record_wall() const { return config_.record_wall; }
   /// Host wall ms since recorder construction (only meaningful when
   /// record_wall() is true).
   double wall_since_start_ms() const { return wall_ms_since(t0_); }
@@ -116,7 +136,11 @@ class TraceRecorder {
   std::vector<std::unique_ptr<Buffer>> buffers_;
   double now_ms_ = 0.0;
   std::chrono::steady_clock::time_point t0_;
-  bool record_wall_;
+  TraceConfig config_;
+  /// record() attempts admitted against the cap (only counted up while a
+  /// cap is set); drops past it.
+  std::atomic<std::int64_t> admitted_{0};
+  std::atomic<std::int64_t> dropped_{0};
 };
 
 }  // namespace rt3

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/wall_time.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace rt3 {
@@ -41,6 +42,9 @@ SwitchReport ReconfigEngine::switch_to(std::int64_t to) {
     report.plan_swap_wall_ms = plan_swap_hook_(to);
   }
   current_ = to;
+  if (telemetry_ != nullptr) {
+    telemetry_->record_swap_bytes(static_cast<double>(set.storage_bytes()));
+  }
   if (trace_ != nullptr) {
     TraceEvent ev("pattern.swap", "switch", trace_->now_ms(), 0);
     ev.arg("from_level", report.from_level)

@@ -15,6 +15,7 @@
 namespace rt3 {
 
 class TraceRecorder;
+class TelemetrySampler;
 
 /// Result of one reconfiguration switch.
 struct SwitchReport {
@@ -61,6 +62,11 @@ class ReconfigEngine {
   /// wall time).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches a telemetry sampler (nullptr detaches): every effective
+  /// switch_to then records the swapped pattern-set storage size into the
+  /// node.swap_bytes series at the sampler's published virtual clock.
+  void set_telemetry(TelemetrySampler* telemetry) { telemetry_ = telemetry; }
+
   /// Overall model sparsity at a level (measured on the composed masks).
   double sparsity_at(std::int64_t level);
 
@@ -75,6 +81,7 @@ class ReconfigEngine {
   std::int64_t current_ = -1;
   PlanSwapHook plan_swap_hook_;
   TraceRecorder* trace_ = nullptr;
+  TelemetrySampler* telemetry_ = nullptr;
 };
 
 /// Battery-discharge simulation (the paper's Table II experiment and the

@@ -6,6 +6,8 @@
 #include "common/check.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/concurrent.hpp"
@@ -102,6 +104,9 @@ Router::Decision Router::route(const Request& r, double now_ms,
   Decision decision;
   decision.shard = registry_.find(r.model_id);
   if (decision.shard == nullptr) {
+    if (telemetry_ != nullptr) {
+      telemetry_->count_unroutable();
+    }
     if (trace_ != nullptr) {
       TraceEvent ev("unroutable", "router", r.arrival_ms, 0);
       ev.id = r.id;
@@ -116,6 +121,9 @@ Router::Decision Router::route(const Request& r, double now_ms,
   decision.admitted =
       !decision.shard->config().admit_feasible ||
       r.deadline_ms >= now_ms + decision.shard->batch_latency_ms(1, level_pos);
+  if (telemetry_ != nullptr && !decision.admitted) {
+    telemetry_->count_reject(r.model_id);
+  }
   if (trace_ != nullptr) {
     TraceEvent ev(decision.admitted ? "arrive" : "reject", "request",
                   r.arrival_ms, r.model_id + 1);
@@ -208,6 +216,18 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     }
     trace_->set_now_ms(0.0);
   }
+  if (slo_ != nullptr) {
+    slo_->set_trace(trace_);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->set_now_ms(0.0);
+    router_.set_telemetry(telemetry_);
+    for (Shard& sh : shards) {
+      if (sh.server->reconfig_engine() != nullptr) {
+        sh.server->reconfig_engine()->set_telemetry(telemetry_);
+      }
+    }
+  }
 
   const auto n = static_cast<std::int64_t>(schedule.size());
   std::int64_t next = 0;     // next schedule index to route
@@ -259,6 +279,9 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
           if (trace_ != nullptr) {
             trace_->set_now_ms(now);
           }
+          if (telemetry_ != nullptr) {
+            telemetry_->set_now_ms(now);
+          }
           if (engine != nullptr) {
             const SwitchReport report = engine->switch_to(pos);
             switch_ms = report.modeled_ms;
@@ -277,6 +300,9 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
           sh.stats.switch_ms_total += switch_ms;
           sh.stats.switch_ms.push_back(switch_ms);
           sh.stats.switch_lag_ms.push_back(lag);
+          if (telemetry_ != nullptr) {
+            telemetry_->record_switch(switch_ms);
+          }
           lag += switch_ms;
         } else if (cfg.software_reconfig && engine != nullptr) {
           // Initial activation: free at t = 0.
@@ -332,8 +358,12 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     // Load shedding per shard: a blown deadline cannot be served in time.
     for (Shard& sh : shards) {
       if (sh.server->config().shed_expired) {
-        sh.stats.shed +=
+        const std::int64_t n_shed =
             static_cast<std::int64_t>(sh.batcher.shed_expired(now).size());
+        sh.stats.shed += n_shed;
+        if (telemetry_ != nullptr && n_shed > 0) {
+          telemetry_->count_shed(sh.model_id, n_shed);
+        }
       }
     }
     if (next >= n && total_pending() == 0) {
@@ -398,8 +428,11 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
           lat_ms * (threshold - frac_after) / (frac_before - frac_after);
     }
     const double end = now + lat_ms;
+    std::int64_t batch_misses = 0;
+    double batch_latency_sum = 0.0;
     for (const Request& r : batch) {
       run->stats.latency_ms.push_back(end - r.arrival_ms);
+      batch_latency_sum += end - r.arrival_ms;
       // Decompose against the node-wide accounts BEFORE this batch joins
       // exec_ivals: waiting behind ANOTHER model's batch is queue_wait
       // here too — cross-model head-of-line blocking becomes visible.
@@ -415,6 +448,7 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
       MissClass miss = MissClass::kNone;
       if (end > r.deadline_ms) {
         ++run->stats.deadline_misses;
+        ++batch_misses;
         ++run->stats.misses_per_class[static_cast<std::size_t>(r.priority)];
         miss = classify_miss(w, r.arrival_ms, end, r.deadline_ms);
         switch (miss) {
@@ -462,6 +496,34 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     ++run->stats.batches;
     run->stats.batch_sizes.push_back(static_cast<std::int64_t>(batch.size()));
     run->stats.busy_ms += lat_ms;
+    if (telemetry_ != nullptr) {
+      BatchSample sample;
+      sample.model_id = run->model_id;
+      sample.start_ms = now;
+      sample.end_ms = end;
+      sample.batch_size = static_cast<std::int64_t>(batch.size());
+      sample.level_pos = pos;
+      sample.energy_mj = energy;
+      sample.battery_fraction = battery_.fraction();
+      sample.queue_depth = run->batcher.pending();
+      sample.node_queue_depth = total_pending();
+      sample.misses = batch_misses;
+      sample.latency_sum_ms = batch_latency_sum;
+      telemetry_->on_batch(sample);
+    }
+    if (slo_ != nullptr) {
+      // Node-level SLO: batches from every model feed one monitor, so a
+      // breach means the NODE is burning its error budget regardless of
+      // which resident model the misses came from.
+      SloObservation obs;
+      obs.end_ms = end;
+      obs.completed = static_cast<std::int64_t>(batch.size());
+      obs.missed = batch_misses;
+      obs.battery_fraction = battery_.fraction();
+      obs.mean_latency_ms =
+          batch_latency_sum / static_cast<double>(batch.size());
+      slo_->observe(obs);
+    }
     if (run->server->batch_observer()) {
       run->server->batch_observer()(batch, pos, now, end);
     }
@@ -505,8 +567,27 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
       server->exec_backend().set_trace(nullptr, 0);
     }
   }
+  if (slo_ != nullptr) {
+    slo_->set_trace(nullptr);
+  }
+  if (telemetry_ != nullptr) {
+    router_.set_telemetry(nullptr);
+    for (const std::int64_t id : registry_.ids()) {
+      Server* server = registry_.find(id);
+      if (server->reconfig_engine() != nullptr) {
+        server->reconfig_engine()->set_telemetry(nullptr);
+      }
+    }
+  }
   if (metrics_ != nullptr) {
     node.publish(*metrics_);
+    if (slo_ != nullptr) {
+      slo_->publish(*metrics_);
+    }
+    if (trace_ != nullptr) {
+      metrics_->gauge("trace.dropped_events")
+          .set(static_cast<double>(trace_->dropped_events()));
+    }
   }
   return node;
 }

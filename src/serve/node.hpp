@@ -128,9 +128,14 @@ class Router {
   /// lane (model id + 1; lane 0 for unroutable ids).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches a telemetry sampler (nullptr detaches): route() then counts
+  /// ingress rejections per model and unroutable requests into it.
+  void set_telemetry(TelemetrySampler* telemetry) { telemetry_ = telemetry; }
+
  private:
   const ModelRegistry& registry_;
   TraceRecorder* trace_ = nullptr;
+  TelemetrySampler* telemetry_ = nullptr;
 };
 
 struct NodeConfig {
@@ -179,6 +184,19 @@ class ServeNode {
   /// serve() then mirrors the final NodeStats via NodeStats::publish.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a continuous-telemetry sampler (nullptr detaches): serve()
+  /// then reports every batch boundary (on the executing model's lane),
+  /// shed/reject/unroutable counts, and switch epochs to it.  Same
+  /// single-null-check overhead contract as set_trace.
+  void set_telemetry(TelemetrySampler* telemetry) { telemetry_ = telemetry; }
+  TelemetrySampler* telemetry() const { return telemetry_; }
+
+  /// Attaches an SLO monitor (nullptr detaches): serve() then feeds it
+  /// node-level batch observations and publishes its breach counts into
+  /// the metrics registry (when one is attached) at session end.
+  void set_slo(SloMonitor* slo) { slo_ = slo; }
+  SloMonitor* slo() const { return slo_; }
+
  private:
   NodeConfig config_;
   VfTable table_;
@@ -189,6 +207,8 @@ class ServeNode {
   Router router_;
   TraceRecorder* trace_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  TelemetrySampler* telemetry_ = nullptr;
+  SloMonitor* slo_ = nullptr;
 };
 
 /// Pushes `schedule` through a RequestQueue from `producers` pool threads

@@ -6,6 +6,8 @@
 #include "common/check.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/concurrent.hpp"
 #include "serve/policy.hpp"
@@ -85,6 +87,12 @@ void Server::set_trace(TraceRecorder* trace) { trace_ = trace; }
 
 void Server::set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+void Server::set_telemetry(TelemetrySampler* telemetry) {
+  telemetry_ = telemetry;
+}
+
+void Server::set_slo(SloMonitor* slo) { slo_ = slo; }
+
 double Server::sparsity_for(std::int64_t level_pos) const {
   return config_.software_reconfig
              ? sparsities_[static_cast<std::size_t>(level_pos)]
@@ -119,6 +127,15 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     backend_->set_trace(trace_, kLane);
     batcher.set_trace(trace_, kLane);
     trace_->set_now_ms(0.0);
+  }
+  if (slo_ != nullptr) {
+    slo_->set_trace(trace_);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->set_now_ms(0.0);
+    if (engine_ != nullptr) {
+      engine_->set_telemetry(telemetry_);
+    }
   }
 
   const std::int64_t n = stats.submitted;
@@ -155,6 +172,9 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
                              .arg("battery_fraction", battery_.fraction()));
         }
         stats.energy_used_mj += config_.switch_energy_mj;
+        if (telemetry_ != nullptr) {
+          telemetry_->set_now_ms(now);
+        }
         double switch_ms = config_.switch_latency_ms;
         if (engine_ != nullptr) {
           const SwitchReport report = engine_->switch_to(pos);
@@ -174,6 +194,9 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
         stats.switch_ms_total += switch_ms;
         stats.switch_ms.push_back(switch_ms);
         stats.switch_lag_ms.push_back(pending_switch_lag);
+        if (telemetry_ != nullptr) {
+          telemetry_->record_switch(switch_ms);
+        }
         pending_switch_lag = 0.0;
       } else if (config_.software_reconfig && engine_ != nullptr) {
         // Initial activation: free at t = 0.
@@ -215,6 +238,9 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       if (config_.admit_feasible &&
           r.deadline_ms < now + batch_latency_ms(1, pos)) {
         ++stats.rejected;
+        if (telemetry_ != nullptr) {
+          telemetry_->count_reject(0);
+        }
         if (trace_ != nullptr) {
           TraceEvent ev("reject", "request", r.arrival_ms, kLane);
           ev.id = r.id;
@@ -240,8 +266,12 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     // Load shedding: a request whose deadline has already passed cannot
     // be served in time, so drop it before it occupies a batch slot.
     if (config_.shed_expired) {
-      stats.shed +=
+      const std::int64_t n_shed =
           static_cast<std::int64_t>(batcher.shed_expired(now).size());
+      stats.shed += n_shed;
+      if (telemetry_ != nullptr && n_shed > 0) {
+        telemetry_->count_shed(0, n_shed);
+      }
       if (batcher.pending() == 0 && next >= n) {
         continue;  // everything left was shed; the loop condition ends it
       }
@@ -296,8 +326,11 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
           lat_ms * (threshold - frac_after) / (frac_before - frac_after);
     }
     const double end = now + lat_ms;
+    std::int64_t batch_misses = 0;
+    double batch_latency_sum = 0.0;
     for (const Request& r : batch) {
       stats.latency_ms.push_back(end - r.arrival_ms);
+      batch_latency_sum += end - r.arrival_ms;
       // Decompose the wait against the recorded switch / exec intervals
       // BEFORE this batch joins exec_ivals, so its own execution counts
       // as exec_ms and not as queueing.
@@ -312,6 +345,7 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       MissClass miss = MissClass::kNone;
       if (end > r.deadline_ms) {
         ++stats.deadline_misses;
+        ++batch_misses;
         ++stats.misses_per_class[static_cast<std::size_t>(r.priority)];
         miss = classify_miss(w, r.arrival_ms, end, r.deadline_ms);
         switch (miss) {
@@ -358,6 +392,31 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     ++stats.batches;
     stats.batch_sizes.push_back(static_cast<std::int64_t>(batch.size()));
     stats.busy_ms += lat_ms;
+    if (telemetry_ != nullptr) {
+      BatchSample sample;
+      sample.model_id = 0;
+      sample.start_ms = now;
+      sample.end_ms = end;
+      sample.batch_size = static_cast<std::int64_t>(batch.size());
+      sample.level_pos = pos;
+      sample.energy_mj = energy;
+      sample.battery_fraction = battery_.fraction();
+      sample.queue_depth = batcher.pending();
+      sample.node_queue_depth = batcher.pending();
+      sample.misses = batch_misses;
+      sample.latency_sum_ms = batch_latency_sum;
+      telemetry_->on_batch(sample);
+    }
+    if (slo_ != nullptr) {
+      SloObservation obs;
+      obs.end_ms = end;
+      obs.completed = static_cast<std::int64_t>(batch.size());
+      obs.missed = batch_misses;
+      obs.battery_fraction = battery_.fraction();
+      obs.mean_latency_ms =
+          batch_latency_sum / static_cast<double>(batch.size());
+      slo_->observe(obs);
+    }
     if (observer_) {
       observer_(batch, pos, now, end);
     }
@@ -379,9 +438,22 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     }
     backend_->set_trace(nullptr, 0);
   }
+  if (slo_ != nullptr) {
+    slo_->set_trace(nullptr);
+  }
+  if (telemetry_ != nullptr && engine_ != nullptr) {
+    engine_->set_telemetry(nullptr);
+  }
   if (metrics_ != nullptr) {
     stats.publish(*metrics_, MetricLabels{{"policy", stats.policy},
                                           {"backend", stats.backend}});
+    if (slo_ != nullptr) {
+      slo_->publish(*metrics_);
+    }
+    if (trace_ != nullptr) {
+      metrics_->gauge("trace.dropped_events")
+          .set(static_cast<double>(trace_->dropped_events()));
+    }
   }
   return stats;
 }

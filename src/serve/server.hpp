@@ -50,6 +50,8 @@ namespace rt3 {
 
 class TraceRecorder;
 class MetricsRegistry;
+class TelemetrySampler;
+class SloMonitor;
 
 struct ServerConfig {
   double battery_capacity_mj = 5e4;
@@ -149,6 +151,20 @@ class Server {
   /// ServerStats::publish.
   void set_metrics(MetricsRegistry* metrics);
 
+  /// Attaches a continuous-telemetry sampler (nullptr detaches): serve()
+  /// then reports every batch boundary, shed/reject count, and switch to
+  /// it.  Same single-null-check overhead contract as set_trace —
+  /// telemetry-off sessions are bitwise-identical to unattached ones.
+  void set_telemetry(TelemetrySampler* telemetry);
+  TelemetrySampler* telemetry() const { return telemetry_; }
+
+  /// Attaches an SLO monitor (nullptr detaches): serve() then feeds it
+  /// every batch boundary, forwards the trace recorder to it for
+  /// breach/recover events, and publishes its breach counts into the
+  /// metrics registry (when one is attached) at session end.
+  void set_slo(SloMonitor* slo);
+  SloMonitor* slo() const { return slo_; }
+
   /// Runs one full session over a pre-generated arrival schedule
   /// (sorted by arrival time).  Deterministic.
   ServerStats serve(const std::vector<Request>& schedule);
@@ -198,6 +214,8 @@ class Server {
   BatchObserver observer_;
   TraceRecorder* trace_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  TelemetrySampler* telemetry_ = nullptr;
+  SloMonitor* slo_ = nullptr;
 };
 
 /// Pushes `schedule` through a RequestQueue from `producers` pool threads

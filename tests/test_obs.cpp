@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/node.hpp"
 #include "serve/server.hpp"
@@ -583,6 +586,412 @@ TEST(NodeStats, TracedNodeSessionStaysBitwiseIdentical) {
   const std::string json = trace.to_chrome_json();
   EXPECT_NE(json.find("\"model 0\""), std::string::npos);
   EXPECT_NE(json.find("\"model 1\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// TimeSeries: fixed-capacity buffer with stride-doubling downsampling
+
+TEST(TimeSeries, StoresEveryPointBelowCapacity) {
+  TimeSeries ts(8);
+  for (int i = 0; i < 5; ++i) {
+    ts.record(static_cast<double>(i * 10), static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.size(), 5);
+  EXPECT_EQ(ts.offered(), 5);
+  EXPECT_EQ(ts.stride(), 1);
+  EXPECT_DOUBLE_EQ(ts.times().front(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.times().back(), 40.0);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 4.0);
+}
+
+TEST(TimeSeries, DownsamplesByStrideDoublingAtCapacity) {
+  TimeSeries ts(4);
+  const int offered = 25;
+  for (int i = 0; i < offered; ++i) {
+    ts.record(static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.offered(), offered);
+  EXPECT_LE(ts.size(), 4);
+  EXPECT_GT(ts.stride(), 1);
+  // Stored points are exactly the offered indices {0, s, 2s, ...}: a pure
+  // function of the offered sequence, independent of compaction timing.
+  for (std::int64_t i = 0; i < ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ts.values()[static_cast<std::size_t>(i)],
+                     static_cast<double>(i * ts.stride()));
+  }
+  // last_value tracks the last OFFERED point even when downsampled away.
+  EXPECT_DOUBLE_EQ(ts.last_value(), static_cast<double>(offered - 1));
+  // The full time span is preserved at halved resolution: the first
+  // stored point is still t=0.
+  EXPECT_DOUBLE_EQ(ts.times().front(), 0.0);
+}
+
+TEST(TimeSeries, LongSessionStaysWithinCapacity) {
+  TimeSeries ts(16);
+  for (int i = 0; i < 10'000; ++i) {
+    ts.record(static_cast<double>(i), 1.0);
+  }
+  EXPECT_LE(ts.size(), 16);
+  EXPECT_EQ(ts.offered(), 10'000);
+  EXPECT_EQ(ts.stride() % 2, 0);  // power-of-two stride after compactions
+}
+
+// ---------------------------------------------------------------------
+// TelemetrySampler
+
+BatchSample batch_at(double end_ms, std::int64_t misses,
+                     double latency_sum_ms, std::int64_t size = 2) {
+  BatchSample s;
+  s.model_id = 0;
+  s.start_ms = end_ms - 10.0;
+  s.end_ms = end_ms;
+  s.batch_size = size;
+  s.energy_mj = 5.0;
+  s.battery_fraction = 0.9;
+  s.misses = misses;
+  s.latency_sum_ms = latency_sum_ms;
+  return s;
+}
+
+TEST(Telemetry, EwmaUpdatesEveryBatchWhileCadenceThinsStorage) {
+  TelemetryConfig cfg;
+  cfg.sample_every_batches = 2;
+  cfg.ewma_alpha = 0.5;
+  TelemetrySampler sampler(cfg);
+  // 4 batches: miss fractions 1, 0, 1, 0 — EWMA seeded from the first
+  // observation, then halved toward each next one.
+  sampler.on_batch(batch_at(100.0, 2, 200.0));  // miss frac 1.0 -> ewma 1.0
+  sampler.on_batch(batch_at(200.0, 0, 100.0));  // -> 0.5
+  sampler.on_batch(batch_at(300.0, 2, 200.0));  // -> 0.75
+  sampler.on_batch(batch_at(400.0, 0, 100.0));  // -> 0.375
+  EXPECT_EQ(sampler.batches_seen(), 4);
+  EXPECT_DOUBLE_EQ(sampler.miss_ewma(0), 0.375);
+  EXPECT_DOUBLE_EQ(sampler.miss_ewma(99), 0.0);  // unseen model
+  // Cadence 2 stores only batches 0 and 2.
+  const TimeSeries* series = sampler.series("m0.miss_ewma");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 2);
+  EXPECT_DOUBLE_EQ(series->times()[0], 100.0);
+  EXPECT_DOUBLE_EQ(series->times()[1], 300.0);
+  EXPECT_EQ(sampler.series("m0.nonexistent"), nullptr);
+}
+
+TEST(Telemetry, SessionDumpIsDeterministicAndPureObservation) {
+  const std::vector<Request> schedule = tight_traffic(12.0, 1);
+  Server plain = make_paper_server(9'000.0, {4, 30.0});
+  const ServerStats bare = plain.serve(schedule);
+
+  std::vector<std::string> dumps;
+  for (int run = 0; run < 2; ++run) {
+    Server server = make_paper_server(9'000.0, {4, 30.0});
+    TelemetrySampler sampler;
+    server.set_telemetry(&sampler);
+    const ServerStats stats = server.serve(schedule);
+    // Telemetry attachment is pure observation.
+    EXPECT_EQ(stats.to_json(), bare.to_json());
+    EXPECT_GT(sampler.batches_seen(), 0);
+    EXPECT_GT(sampler.num_points(), 0);
+    dumps.push_back(sampler.to_json());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_TRUE(JsonChecker(dumps[0]).valid());
+  EXPECT_NE(dumps[0].find("\"node.battery_fraction\""), std::string::npos);
+  EXPECT_NE(dumps[0].find("\"m0.queue_depth\""), std::string::npos);
+}
+
+TEST(Telemetry, ExportCountersEmitsValidCounterEvents) {
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  TelemetrySampler sampler;
+  server.set_telemetry(&sampler);
+  server.serve(tight_traffic(12.0, 1));
+
+  TraceRecorder trace(/*record_wall=*/false);
+  sampler.export_counters(trace);
+  std::int64_t counter_events = 0;
+  for (const TraceEvent& e : trace.merged()) {
+    if (e.ph == 'C') {
+      ++counter_events;
+      EXPECT_GE(e.ts_ms, 0.0);
+    }
+  }
+  // One counter event per stored point.
+  EXPECT_EQ(counter_events, sampler.num_points());
+  EXPECT_TRUE(JsonChecker(trace.to_chrome_json()).valid());
+}
+
+// ---------------------------------------------------------------------
+// SloMonitor rule state machines
+
+SloObservation slo_obs(double end_ms, std::int64_t completed,
+                       std::int64_t missed, double battery = 0.9,
+                       double mean_latency_ms = 100.0) {
+  SloObservation o;
+  o.end_ms = end_ms;
+  o.completed = completed;
+  o.missed = missed;
+  o.battery_fraction = battery;
+  o.mean_latency_ms = mean_latency_ms;
+  return o;
+}
+
+SloRule miss_burn_rule() {
+  SloRule rule;
+  rule.name = "burn";
+  rule.kind = SloRuleKind::kMissBurn;
+  rule.short_window_ms = 1'000.0;
+  rule.long_window_ms = 4'000.0;
+  rule.short_threshold = 0.5;
+  rule.long_threshold = 0.2;
+  rule.min_misses = 2;
+  return rule;
+}
+
+TEST(Slo, MissBurnBreachesOnBothWindowsAndRecovers) {
+  SloMonitor monitor({miss_burn_rule()});
+  // All-missed batches: short and long rates hit 1.0 once 2 misses land.
+  monitor.observe(slo_obs(100.0, 2, 2));
+  ASSERT_EQ(monitor.breaches(), 1);
+  EXPECT_EQ(monitor.active_breaches(), 1);
+  const SloEpisode& open = monitor.episodes().front();
+  EXPECT_EQ(open.rule, "burn");
+  EXPECT_DOUBLE_EQ(open.start_ms, 100.0);
+  EXPECT_DOUBLE_EQ(open.end_ms, -1.0);
+  EXPECT_GE(open.trigger_misses, 2);
+  EXPECT_DOUBLE_EQ(open.trigger_value, 1.0);
+  // Clean batches push the short-window rate to zero: recover.
+  monitor.observe(slo_obs(1'600.0, 4, 0));
+  EXPECT_EQ(monitor.active_breaches(), 0);
+  EXPECT_DOUBLE_EQ(monitor.episodes().front().end_ms, 1'600.0);
+  EXPECT_EQ(monitor.breaches(), 1);  // one closed episode, not two
+}
+
+TEST(Slo, MissBurnFloorSuppressesSingleMissPages) {
+  SloMonitor monitor({miss_burn_rule()});  // min_misses = 2
+  // One missed request out of one: 100% rate but below the floor.
+  monitor.observe(slo_obs(100.0, 1, 1));
+  EXPECT_EQ(monitor.breaches(), 0);
+  // A second miss inside the short window crosses the floor.
+  monitor.observe(slo_obs(200.0, 1, 1));
+  EXPECT_EQ(monitor.breaches(), 1);
+}
+
+TEST(Slo, LatencyEwmaBreachesAboveThreshold) {
+  SloRule rule;
+  rule.name = "lat";
+  rule.kind = SloRuleKind::kLatencyEwma;
+  rule.latency_threshold_ms = 100.0;
+  rule.ewma_alpha = 1.0;  // ewma == latest observation
+  SloMonitor monitor({rule});
+  monitor.observe(slo_obs(100.0, 2, 0, 0.9, 50.0));
+  EXPECT_EQ(monitor.breaches(), 0);
+  monitor.observe(slo_obs(200.0, 2, 0, 0.9, 150.0));
+  EXPECT_EQ(monitor.active_breaches(), 1);
+  EXPECT_DOUBLE_EQ(monitor.episodes().front().trigger_value, 150.0);
+  monitor.observe(slo_obs(300.0, 2, 0, 0.9, 50.0));
+  EXPECT_EQ(monitor.active_breaches(), 0);
+}
+
+TEST(Slo, BatterySlopeProjectsTimeToEmpty) {
+  SloRule rule;
+  rule.name = "batt";
+  rule.kind = SloRuleKind::kBatterySlope;
+  rule.slope_window_ms = 10'000.0;
+  rule.min_projected_ms = 60'000.0;
+  SloMonitor monitor({rule});
+  // Window spans less than half its width: rule holds (no breach).
+  monitor.observe(slo_obs(0.0, 1, 0, 1.0));
+  monitor.observe(slo_obs(2'000.0, 1, 0, 0.9));
+  EXPECT_EQ(monitor.breaches(), 0);
+  // Fast drain: 0.5 fraction over 6 s projects 6 s to empty — breach.
+  monitor.observe(slo_obs(6'000.0, 1, 0, 0.5));
+  ASSERT_EQ(monitor.active_breaches(), 1);
+  EXPECT_NEAR(monitor.episodes().front().trigger_value, 6'000.0, 1.0);
+}
+
+TEST(Slo, TransitionsEmitRuleTaggedTraceEvents) {
+  SloMonitor monitor({miss_burn_rule()});
+  TraceRecorder trace(/*record_wall=*/false);
+  monitor.set_trace(&trace);
+  monitor.observe(slo_obs(100.0, 2, 2));
+  monitor.observe(slo_obs(1'600.0, 4, 0));
+  std::int64_t breach_events = 0;
+  std::int64_t recover_events = 0;
+  for (const TraceEvent& e : trace.merged()) {
+    if (e.name == "slo.breach") {
+      ++breach_events;
+    }
+    if (e.name == "slo.recover") {
+      ++recover_events;
+    }
+    EXPECT_EQ(e.tid, 0);  // transitions live on the node/governor lane
+  }
+  EXPECT_EQ(breach_events, 1);
+  EXPECT_EQ(recover_events, 1);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"rule\": \"burn\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(monitor.to_json()).valid());
+  // Metrics publication counts the episode.
+  MetricsRegistry registry;
+  monitor.publish(registry);
+  EXPECT_EQ(registry.counter_value("slo.breaches"), 1);
+}
+
+// The ISSUE acceptance criterion: breach decisions must agree with the
+// post-hoc per-request attribution — every flagged miss-burn window
+// contains at least the rule's min_misses classified misses.
+TEST(Slo, BreachEpisodesAgreeWithMissAttribution) {
+  const std::vector<Request> schedule = tight_traffic(12.0, 1);
+  Server server = make_paper_server(9'000.0, {4, 30.0});
+  TraceRecorder trace(/*record_wall=*/false);
+  TelemetrySampler sampler;
+  SloMonitor monitor(SloMonitor::default_rules());
+  server.set_trace(&trace);
+  server.set_telemetry(&sampler);
+  server.set_slo(&monitor);
+  const ServerStats stats = server.serve(schedule);
+  ASSERT_GT(stats.deadline_misses, 0);
+  ASSERT_GT(monitor.breaches(), 0);  // the tight traffic must page
+
+  const SloRule* burn = nullptr;
+  for (const SloRule& rule : monitor.rules()) {
+    if (rule.kind == SloRuleKind::kMissBurn) {
+      burn = &rule;
+    }
+  }
+  ASSERT_NE(burn, nullptr);
+  std::int64_t burn_episodes = 0;
+  for (const SloEpisode& ep : monitor.episodes()) {
+    if (ep.rule != burn->name) {
+      continue;
+    }
+    ++burn_episodes;
+    EXPECT_GE(ep.trigger_misses, burn->min_misses);
+    // Post-hoc check against the trace: the classified "miss" instants
+    // inside [start - short_window, start] must cover the floor.
+    std::int64_t misses_in_window = 0;
+    for (const TraceEvent& e : trace.merged()) {
+      if (e.name == "miss" && e.ts_ms >= ep.start_ms - burn->short_window_ms &&
+          e.ts_ms <= ep.start_ms) {
+        ++misses_in_window;
+      }
+    }
+    EXPECT_GE(misses_in_window, burn->min_misses)
+        << "episode at " << ep.start_ms;
+  }
+  EXPECT_GT(burn_episodes, 0);
+}
+
+// ---------------------------------------------------------------------
+// TraceRecorder event cap
+
+TEST(Trace, MaxEventsCapDropsAndCounts) {
+  TraceConfig cfg;
+  cfg.max_events = 5;
+  TraceRecorder trace(cfg);
+  for (int i = 0; i < 8; ++i) {
+    TraceEvent ev("tick", "test", static_cast<double>(i), 0);
+    ev.ph = 'i';
+    trace.record(std::move(ev));
+  }
+  EXPECT_EQ(trace.num_events(), 5);
+  EXPECT_EQ(trace.dropped_events(), 3);
+  EXPECT_EQ(trace.max_events(), 5);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  // The footer surfaces the drop count for tooling.
+  EXPECT_NE(json.find("\"dropped_events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"max_events\": 5"), std::string::npos);
+}
+
+TEST(Trace, ZeroMaxEventsMeansUnlimited) {
+  TraceRecorder trace(/*record_wall=*/false);
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent ev("tick", "test", static_cast<double>(i), 0);
+    ev.ph = 'i';
+    trace.record(std::move(ev));
+  }
+  EXPECT_EQ(trace.num_events(), 100);
+  EXPECT_EQ(trace.dropped_events(), 0);
+  EXPECT_NE(trace.to_chrome_json().find("\"dropped_events\": 0"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+
+TEST(Prometheus, SanitizesNamesAndEscapesLabelValues) {
+  MetricsRegistry registry;
+  MetricLabels labels;
+  labels.add("path", "a\\b\"c\nd");  // every escape class at once
+  registry.counter("serve.completed", labels).inc(7);
+  registry.gauge("battery.fraction").set(0.25);
+  const std::string text = registry.to_prometheus();
+  // Dots sanitize to underscores; the family gets one TYPE line.
+  EXPECT_NE(text.find("# TYPE serve_completed counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE battery_fraction gauge"), std::string::npos);
+  // Label values escape backslash, quote, and newline per the 0.0.4
+  // text-exposition rules.
+  EXPECT_NE(text.find("serve_completed{path=\"a\\\\b\\\"c\\nd\"} 7"),
+            std::string::npos);
+  EXPECT_EQ(text.find("serve.completed"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("serve.latency_ms");
+  h = Histogram(/*lo=*/1.0, /*num_buckets=*/3);  // edges 1, 2, 4, 8
+  h.observe(0.5);  // underflow
+  h.observe(1.5);  // [1, 2)
+  h.observe(3.0);  // [2, 4)
+  h.observe(9.0);  // overflow
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE serve_latency_ms histogram"),
+            std::string::npos);
+  // Cumulative counts at the upper edges: le="1" holds the underflow
+  // rail, each next bucket adds its own count.
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"4\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_count 4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket boundaries (log2 buckets, lo = 1): 0 is underflow,
+// exact powers of two open their own bucket, the top rail saturates.
+
+TEST(Metrics, HistogramBucketBoundariesAtPowersOfTwo) {
+  Histogram h(/*lo=*/1.0, /*num_buckets=*/4);  // buckets [1,2) [2,4) [4,8) [8,16)
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  h.observe(0.0);   // below lo: underflow rail
+  h.observe(1.0);   // exactly lo: first bucket, not underflow
+  h.observe(2.0);   // exact power of two: lower-inclusive -> [2, 4)
+  h.observe(4.0);   // -> [4, 8)
+  h.observe(8.0);   // -> [8, 16)
+  h.observe(16.0);  // exactly the top edge: overflow rail
+  const std::vector<std::int64_t>& buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 6U);
+  EXPECT_EQ(buckets[0], 1);  // underflow: 0.0
+  EXPECT_EQ(buckets[1], 1);  // 1.0
+  EXPECT_EQ(buckets[2], 1);  // 2.0
+  EXPECT_EQ(buckets[3], 1);  // 4.0
+  EXPECT_EQ(buckets[4], 1);  // 8.0
+  EXPECT_EQ(buckets[5], 1);  // overflow: 16.0
+  EXPECT_EQ(h.count(), 6);
+}
+
+TEST(Metrics, HistogramTopBucketSaturates) {
+  Histogram h(/*lo=*/1.0, /*num_buckets=*/4);
+  h.observe(16.0);
+  h.observe(1e18);  // astronomically large still lands in the top rail
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.buckets().back(), 3);
+  EXPECT_EQ(h.count(), 3);
 }
 
 }  // namespace

@@ -10,28 +10,38 @@ on, plus the rt3-specific invariants the trace exporter promises:
     "pid"/"tid";
   * phases are limited to the ones rt3 emits: 'X' (complete span,
     requires numeric non-negative "dur"), 'i' (instant, requires scope
-    "s"), and 'M' (metadata);
+    "s"), 'C' (counter, requires a numeric args value and no "dur"),
+    and 'M' (metadata);
   * timestamps are non-negative (the virtual clock starts at 0);
   * every tid used by a real event has a thread_name metadata record
     (the exporter names every lane);
   * request-lifecycle events ("request" spans, "miss"/"shed"/"reject"
-    instants) carry an integer request id in args.
+    instants) carry an integer request id in args;
+  * SLO events ("slo.breach"/"slo.recover") carry a string args.rule.
+
+With --require-counter-events the trace must contain at least one 'C'
+counter event (telemetry export) or it fails — CI uses this to assert
+`--telemetry` sessions actually sampled.
 
 Prints a one-line summary with event counts on success.
 
-Usage: check_trace.py TRACE.json [TRACE2.json ...]
+Usage: check_trace.py [--require-counter-events] TRACE.json [TRACE2.json ...]
 Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
 """
 
 import json
 import sys
 
-ALLOWED_PHASES = {"X", "i", "M"}
+ALLOWED_PHASES = {"X", "i", "C", "M"}
 REQUEST_SCOPED = {"request", "miss", "shed", "reject", "arrive", "enqueue"}
+SLO_EVENTS = {"slo.breach", "slo.recover"}
 
 
-def check_events(path, doc, errors):
-    """Appends per-event problem strings to `errors`; returns counts."""
+def check_events(path, doc, errors, phases):
+    """Appends per-event problem strings to `errors`; returns counts.
+
+    `phases` accumulates a per-phase event tally for the caller.
+    """
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         errors.append("top level has no 'traceEvents' array")
@@ -55,6 +65,7 @@ def check_events(path, doc, errors):
         if ph not in ALLOWED_PHASES:
             errors.append(f"{where} ({name}): unexpected phase {ph!r}")
             continue
+        phases[ph] = phases.get(ph, 0) + 1
         if not isinstance(e.get("pid"), int):
             errors.append(f"{where} ({name}): missing integer 'pid'")
         if not isinstance(e.get("tid"), int):
@@ -83,6 +94,22 @@ def check_events(path, doc, errors):
                 errors.append(f"{where} ({name}): negative dur {dur}")
         if ph == "i" and not isinstance(e.get("s"), str):
             errors.append(f"{where} ({name}): instant without scope 's'")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where} ({name}): counter without args")
+            elif not all(isinstance(v, (int, float)) and
+                         not isinstance(v, bool) for v in args.values()):
+                errors.append(f"{where} ({name}): counter with non-numeric "
+                              f"args value")
+            if "dur" in e:
+                errors.append(f"{where} ({name}): counter must not carry "
+                              f"'dur'")
+        if name in SLO_EVENTS:
+            rule = (e.get("args") or {}).get("rule")
+            if not isinstance(rule, str) or not rule:
+                errors.append(f"{where} ({name}): slo event without string "
+                              f"args.rule")
         if name in REQUEST_SCOPED:
             rid = (e.get("args") or {}).get("id")
             if not isinstance(rid, int):
@@ -95,7 +122,7 @@ def check_events(path, doc, errors):
     return counts
 
 
-def check_file(path):
+def check_file(path, require_counters=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -107,7 +134,10 @@ def check_file(path):
               file=sys.stderr)
         return False
     errors = []
-    counts = check_events(path, doc, errors)
+    phases = {}
+    counts = check_events(path, doc, errors, phases)
+    if require_counters and not phases.get("C"):
+        errors.append("no counter ('C') events — telemetry export missing")
     for e in errors[:50]:
         print(f"check_trace: {path}: {e}", file=sys.stderr)
     if len(errors) > 50:
@@ -123,10 +153,13 @@ def check_file(path):
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    require_counters = "--require-counter-events" in args
+    paths = [a for a in args if a != "--require-counter-events"]
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    ok = all([check_file(path) for path in sys.argv[1:]])
+    ok = all([check_file(path, require_counters) for path in paths])
     sys.exit(0 if ok else 1)
 
 

@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""Renders an rt3 serve/node session report: telemetry series, SLO breach
+episodes, and miss attribution in one place.
+
+Inputs are the observability artifacts a session writes (any subset):
+
+  --telemetry FILE   JSON from `rt3 serve|node --telemetry FILE`
+                     ({"telemetry": {series...}, "slo": [episodes...]})
+  --metrics FILE     JSON from `--metrics FILE` (counters/gauges/histograms)
+  --trace FILE       Chrome trace JSON from `--trace FILE` (used for
+                     SLO breach events and the dropped-events footer
+                     when no telemetry file is given)
+  --out FILE.html    also write a self-contained HTML report (inline SVG
+                     charts, no external assets)
+  --title TITLE      report title
+
+With no --out the report prints to the terminal (unicode sparklines).
+`rt3 report` shells out to this script, so both spellings work:
+
+  rt3 report --telemetry tel.json --metrics m.json --out report.html
+  python3 tools/report.py --telemetry tel.json
+
+Exit codes: 0 ok, 2 usage/IO error.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+# Series drawn first, in this order, when present; the rest follow
+# alphabetically.
+KEY_SERIES = [
+    "node.battery_fraction",
+    "node.level",
+    "node.queue_depth",
+    "node.switch_ms",
+]
+
+
+def load_json(path, what):
+    if not path:
+        return None
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"report: cannot read {what} {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def sparkline(values, width=48):
+    """Downsamples `values` to `width` buckets of unicode blocks."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if len(values) > width:
+        # bucket means, deterministic
+        out = []
+        for b in range(width):
+            i0 = b * len(values) // width
+            i1 = max(i0 + 1, (b + 1) * len(values) // width)
+            chunk = values[i0:i1]
+            out.append(sum(chunk) / len(chunk))
+        values = out
+    if span <= 0:
+        return SPARK[0] * len(values)
+    return "".join(
+        SPARK[min(len(SPARK) - 1,
+                  int((v - lo) / span * (len(SPARK) - 1)))]
+        for v in values)
+
+
+def ordered_series(series):
+    names = [n for n in KEY_SERIES if n in series]
+    names += sorted(n for n in series if n not in KEY_SERIES)
+    return names
+
+
+def strip_labels(key):
+    return key.split("{", 1)[0]
+
+
+def sum_counters(metrics, base_name):
+    """Sums a counter family across label sets (None when absent)."""
+    if not metrics:
+        return None
+    found = False
+    total = 0
+    for key, value in metrics.get("counters", {}).items():
+        if strip_labels(key) == base_name:
+            total += value
+            found = True
+    return total if found else None
+
+
+def miss_attribution(metrics):
+    """(misses, {cause: count}) from the published counters."""
+    misses = sum_counters(metrics, "serve.deadline_misses")
+    if misses is None:
+        return None
+    causes = {}
+    for cause in ("queued", "switch", "exec"):
+        n = sum_counters(metrics, f"serve.miss_{cause}")
+        if n is not None:
+            causes[cause] = n
+    return misses, causes
+
+
+def slo_episodes(telemetry_doc, trace_doc):
+    """Breach episodes from the telemetry dump, else from trace events."""
+    if telemetry_doc and isinstance(telemetry_doc.get("slo"), list):
+        return telemetry_doc["slo"]
+    if not trace_doc:
+        return []
+    episodes = []
+    open_by_rule = {}
+    for e in trace_doc.get("traceEvents", []):
+        if e.get("name") not in ("slo.breach", "slo.recover"):
+            continue
+        args = e.get("args") or {}
+        rule = args.get("rule", "?")
+        ts_ms = e.get("ts", 0) / 1000.0  # trace ts is in us
+        if e["name"] == "slo.breach":
+            ep = {"rule": rule, "start_ms": ts_ms, "end_ms": -1,
+                  "trigger_value": args.get("value", 0)}
+            open_by_rule[rule] = ep
+            episodes.append(ep)
+        elif rule in open_by_rule:
+            open_by_rule.pop(rule)["end_ms"] = ts_ms
+    return episodes
+
+
+def fmt_ms(v):
+    return "session end" if v is None or v < 0 else f"{v:.0f} ms"
+
+
+def print_terminal(title, telemetry_doc, metrics, trace_doc):
+    print(f"== {title} ==")
+    completed = sum_counters(metrics, "serve.completed")
+    if completed is not None:
+        parts = [f"completed {completed}"]
+        for base in ("serve.deadline_misses", "serve.shed",
+                     "serve.rejected", "serve.dropped", "serve.switches"):
+            n = sum_counters(metrics, base)
+            if n:
+                parts.append(f"{base.split('.', 1)[1]} {n}")
+        unroutable = sum_counters(metrics, "node.unroutable")
+        if unroutable:
+            parts.append(f"unroutable {unroutable}")
+        print("session: " + ", ".join(parts))
+    attribution = miss_attribution(metrics)
+    if attribution and attribution[0]:
+        misses, causes = attribution
+        detail = ", ".join(f"{k} {v} ({v / misses:.0%})"
+                           for k, v in causes.items())
+        print(f"miss attribution: {misses} misses = {detail}")
+    episodes = slo_episodes(telemetry_doc, trace_doc)
+    print(f"slo: {len(episodes)} breach episode(s)")
+    for ep in episodes:
+        print(f"  [{ep.get('rule', '?')}] {fmt_ms(ep.get('start_ms'))}"
+              f" -> {fmt_ms(ep.get('end_ms'))}"
+              f" (trigger {ep.get('trigger_value', 0):.3g})")
+    series = ((telemetry_doc or {}).get("telemetry") or {}).get("series", {})
+    if series:
+        print(f"series ({len(series)}):")
+        width = max(len(n) for n in series)
+        for name in ordered_series(series):
+            s = series[name]
+            values = s.get("v", [])
+            if not values:
+                continue
+            lo, hi = min(values), max(values)
+            print(f"  {name:<{width}}  {sparkline(values)}"
+                  f"  [{lo:.3g}, {hi:.3g}] x{s.get('offered', len(values))}")
+    if trace_doc:
+        footer = trace_doc.get("rt3", {})
+        if footer.get("dropped_events"):
+            print(f"trace: {footer['dropped_events']} events dropped at the "
+                  f"max_events cap ({footer.get('max_events')})")
+
+
+def svg_chart(name, times, values, episodes, width=640, height=120):
+    """One series as an inline SVG polyline with breach-interval shading."""
+    pad = 4
+    t_lo, t_hi = times[0], times[-1]
+    v_lo, v_hi = min(values), max(values)
+    t_span = (t_hi - t_lo) or 1.0
+    v_span = (v_hi - v_lo) or 1.0
+
+    def x(t):
+        return pad + (t - t_lo) / t_span * (width - 2 * pad)
+
+    def y(v):
+        return height - pad - (v - v_lo) / v_span * (height - 2 * pad)
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">']
+    parts.append(f'<rect width="{width}" height="{height}" fill="#fafafa" '
+                 f'stroke="#ddd"/>')
+    for ep in episodes:
+        s = max(t_lo, ep.get("start_ms", t_lo))
+        e = ep.get("end_ms", -1)
+        e = t_hi if e is None or e < 0 else min(t_hi, e)
+        if e > s:
+            parts.append(f'<rect x="{x(s):.1f}" y="0" '
+                         f'width="{max(1.0, x(e) - x(s)):.1f}" '
+                         f'height="{height}" fill="#c0392b" opacity="0.12"/>')
+    points = " ".join(f"{x(t):.1f},{y(v):.1f}"
+                      for t, v in zip(times, values))
+    parts.append(f'<polyline points="{points}" fill="none" '
+                 f'stroke="#2c6fbb" stroke-width="1.5"/>')
+    parts.append(f'<text x="{pad + 2}" y="12" font-size="11" '
+                 f'fill="#555">{html.escape(name)} '
+                 f'[{v_lo:.3g}, {v_hi:.3g}]</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_html(path, title, telemetry_doc, metrics, trace_doc):
+    episodes = slo_episodes(telemetry_doc, trace_doc)
+    series = ((telemetry_doc or {}).get("telemetry") or {}).get("series", {})
+    out = ["<!doctype html><html><head><meta charset='utf-8'>",
+           f"<title>{html.escape(title)}</title>",
+           "<style>body{font:14px/1.5 system-ui,sans-serif;max-width:720px;"
+           "margin:2em auto;color:#222}h1{font-size:1.3em}h2{font-size:1.1em;"
+           "margin-top:1.5em}table{border-collapse:collapse}td,th{border:1px "
+           "solid #ddd;padding:4px 10px;text-align:left}svg{display:block;"
+           "margin:6px 0}.bar{display:inline-block;height:12px;"
+           "background:#2c6fbb}.miss .bar{background:#c0392b}</style>",
+           f"</head><body><h1>{html.escape(title)}</h1>"]
+
+    completed = sum_counters(metrics, "serve.completed")
+    if completed is not None:
+        out.append("<h2>Session</h2><table><tr>")
+        cells = {"completed": completed}
+        for base in ("serve.deadline_misses", "serve.shed", "serve.rejected",
+                     "serve.dropped", "serve.switches"):
+            n = sum_counters(metrics, base)
+            if n is not None:
+                cells[base.split(".", 1)[1]] = n
+        out.append("".join(f"<th>{html.escape(k)}</th>" for k in cells))
+        out.append("</tr><tr>")
+        out.append("".join(f"<td>{v}</td>" for v in cells.values()))
+        out.append("</tr></table>")
+
+    attribution = miss_attribution(metrics)
+    if attribution and attribution[0]:
+        misses, causes = attribution
+        out.append(f"<h2>Miss attribution</h2><p>{misses} deadline "
+                   f"misses</p><table class='miss'>")
+        for cause, n in causes.items():
+            w = int(200 * n / misses)
+            out.append(f"<tr><td>{html.escape(cause)}</td><td>{n}</td>"
+                       f"<td style='border:none'><span class='bar' "
+                       f"style='width:{w}px'></span></td></tr>")
+        out.append("</table>")
+
+    out.append(f"<h2>SLO breaches</h2><p>{len(episodes)} episode(s)</p>")
+    if episodes:
+        out.append("<table><tr><th>rule</th><th>start</th><th>end</th>"
+                   "<th>trigger</th></tr>")
+        for ep in episodes:
+            out.append(
+                f"<tr><td>{html.escape(str(ep.get('rule', '?')))}</td>"
+                f"<td>{fmt_ms(ep.get('start_ms'))}</td>"
+                f"<td>{fmt_ms(ep.get('end_ms'))}</td>"
+                f"<td>{ep.get('trigger_value', 0):.3g}</td></tr>")
+        out.append("</table>")
+
+    if series:
+        out.append("<h2>Telemetry series</h2>"
+                   "<p>Shaded bands are SLO breach intervals.</p>")
+        for name in ordered_series(series):
+            s = series[name]
+            times, values = s.get("t", []), s.get("v", [])
+            if len(values) >= 2:
+                out.append(svg_chart(name, times, values, episodes))
+
+    if trace_doc:
+        footer = trace_doc.get("rt3", {})
+        if footer.get("dropped_events"):
+            out.append(f"<p>trace: {footer['dropped_events']} events "
+                       f"dropped at the max_events cap "
+                       f"({footer.get('max_events')})</p>")
+    out.append("</body></html>")
+    try:
+        with open(path, "w") as f:
+            f.write("".join(out))
+    except OSError as e:
+        print(f"report: cannot write {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    print(f"report: wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--telemetry", help="telemetry JSON from --telemetry")
+    parser.add_argument("--metrics", help="metrics JSON from --metrics")
+    parser.add_argument("--trace", help="Chrome trace JSON from --trace")
+    parser.add_argument("--out", help="write a self-contained HTML report")
+    parser.add_argument("--title", default="rt3 session report")
+    args = parser.parse_args()
+    if not (args.telemetry or args.metrics or args.trace):
+        parser.error("need at least one of --telemetry/--metrics/--trace")
+
+    telemetry_doc = load_json(args.telemetry, "telemetry")
+    metrics = load_json(args.metrics, "metrics")
+    trace_doc = load_json(args.trace, "trace")
+    print_terminal(args.title, telemetry_doc, metrics, trace_doc)
+    if args.out:
+        write_html(args.out, args.title, telemetry_doc, metrics, trace_doc)
+
+
+if __name__ == "__main__":
+    main()

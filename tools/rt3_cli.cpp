@@ -44,8 +44,23 @@
 //         --trace FILE       write the session's request/batch/switch
 //                            lifecycle as Chrome trace-event JSON
 //                            (load in ui.perfetto.dev)
+//         --max-trace-events N  cap stored trace events; overflow is
+//                            dropped + counted in the trace footer (0 =
+//                            unbounded)
 //         --metrics FILE     write the session's metrics registry
-//                            (counters/gauges/histograms) as JSON
+//                            (counters/gauges/histograms)
+//         --metrics-format F json | prom (Prometheus text exposition)
+//         --telemetry FILE   continuous telemetry: record per-batch time
+//                            series (queue depth, battery, EWMAs, ...)
+//                            and write them as JSON; with --trace the
+//                            series also merge into the trace as counter
+//                            tracks
+//         --sample-every N   telemetry cadence: record series points at
+//                            every Nth batch boundary  (1)
+//         --slo              evaluate the default SLO rules (miss
+//                            burn-rate, latency EWMA, battery slope);
+//                            breach/recover events land on trace lane 0
+//                            and episodes print + export with --telemetry
 //       Flags also accept --flag=value form (common/args.hpp, shared with
 //       the bench executables).
 //   rt3 node [--models N] ...                         multi-model serving
@@ -53,7 +68,11 @@
 //       requests routed by model id with optional feasibility admission.
 //       Takes every `rt3 serve` flag (applied per model) plus:
 //         --models N         resident models on the node     (3)
+//   rt3 report [ARGS...]                              render a session
+//       report (series + SLO breaches + miss attribution) via
+//       tools/report.py; see `rt3 report --help`
 //   rt3 levels                                        print the V/F ladder
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -65,6 +84,8 @@
 #include "core/pipeline.hpp"
 #include "exec/backend.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "serve/node.hpp"
@@ -183,30 +204,98 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
-/// Writes a session's metrics-registry JSON to `path`.
-void write_metrics_json(const MetricsRegistry& metrics,
-                        const std::string& path) {
-  std::ofstream out(path);
-  check(out.good(), "cannot open metrics output file: " + path);
-  out << metrics.to_json() << "\n";
+/// The observability sinks a serve/node session may write at exit.
+/// Null pointers mean "not enabled"; paths pair with their pointers.
+struct ObsOutputs {
+  const TraceRecorder* trace = nullptr;
+  std::string trace_path;
+  const MetricsRegistry* metrics = nullptr;
+  std::string metrics_path;
+  std::string metrics_format = "json";  // json | prom
+  const TelemetrySampler* telemetry = nullptr;
+  std::string telemetry_path;
+  const SloMonitor* slo = nullptr;
+};
+
+/// Writes every enabled observability artifact and prints the epilogue.
+/// Telemetry series merge into the trace as counter tracks first, so the
+/// exported Chrome JSON carries them.
+void report_observability(const ObsOutputs& obs, TraceRecorder* trace_mut) {
+  if (obs.telemetry != nullptr && trace_mut != nullptr) {
+    obs.telemetry->export_counters(*trace_mut);
+  }
+  if (obs.trace != nullptr) {
+    obs.trace->write_chrome_json(obs.trace_path);
+    std::cout << "\ntrace: " << obs.trace->num_events() << " events -> "
+              << obs.trace_path
+              << " (Chrome trace-event JSON; load in ui.perfetto.dev)\n";
+    if (obs.trace->dropped_events() > 0) {
+      std::cout << "trace: " << obs.trace->dropped_events()
+                << " events dropped at the --max-trace-events cap ("
+                << obs.trace->max_events() << ")\n";
+    }
+  }
+  if (obs.metrics != nullptr) {
+    std::ofstream out(obs.metrics_path);
+    check(out.good(), "cannot open metrics output file: " + obs.metrics_path);
+    if (obs.metrics_format == "prom") {
+      out << obs.metrics->to_prometheus();
+    } else {
+      out << obs.metrics->to_json() << "\n";
+    }
+    std::cout << "metrics: " << obs.metrics->size() << " series -> "
+              << obs.metrics_path << " (" << obs.metrics_format << ")\n";
+  }
+  if (obs.telemetry != nullptr) {
+    std::ofstream out(obs.telemetry_path);
+    check(out.good(),
+          "cannot open telemetry output file: " + obs.telemetry_path);
+    out << "{\"telemetry\": " << obs.telemetry->to_json() << ", \"slo\": "
+        << (obs.slo != nullptr ? obs.slo->to_json() : "[]") << "}\n";
+    std::cout << "telemetry: " << obs.telemetry->num_series()
+              << " series, " << obs.telemetry->num_points() << " points ("
+              << obs.telemetry->batches_seen() << " batches) -> "
+              << obs.telemetry_path << "\n";
+  }
+  if (obs.slo != nullptr) {
+    std::cout << "slo: " << obs.slo->breaches() << " breach episode(s)";
+    if (obs.slo->active_breaches() > 0) {
+      std::cout << ", " << obs.slo->active_breaches()
+                << " still open at session end";
+    }
+    std::cout << "\n";
+    for (const SloEpisode& e : obs.slo->episodes()) {
+      std::cout << "  [" << e.rule << "] " << fmt_f(e.start_ms, 0)
+                << " ms -> "
+                << (e.end_ms < 0 ? "end" : fmt_f(e.end_ms, 0) + " ms")
+                << " (trigger " << fmt_f(e.trigger_value, 2) << ")\n";
+    }
+  }
 }
 
-/// Prints the one-line trace/metrics epilogue after a traced session.
-void report_observability(const TraceRecorder* trace,
-                          const std::string& trace_path,
-                          const MetricsRegistry* metrics,
-                          const std::string& metrics_path) {
-  if (trace != nullptr) {
-    trace->write_chrome_json(trace_path);
-    std::cout << "\ntrace: " << trace->num_events() << " events -> "
-              << trace_path
-              << " (Chrome trace-event JSON; load in ui.perfetto.dev)\n";
-  }
-  if (metrics != nullptr) {
-    write_metrics_json(*metrics, metrics_path);
-    std::cout << "metrics: " << metrics->size() << " series -> "
-              << metrics_path << "\n";
-  }
+/// The observability flags shared by `rt3 serve` and `rt3 node`.
+struct ObsFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string metrics_format;
+  std::string telemetry_path;
+  bool slo = false;
+  std::int64_t sample_every = 1;
+  std::int64_t max_trace_events = 0;
+};
+
+ObsFlags parse_obs_flags(const std::vector<std::string>& args) {
+  ObsFlags f;
+  f.trace_path = arg_string(args, "--trace", "");
+  f.metrics_path = arg_string(args, "--metrics", "");
+  f.metrics_format = arg_string(args, "--metrics-format", "json");
+  check(f.metrics_format == "json" || f.metrics_format == "prom",
+        "--metrics-format must be json or prom");
+  f.telemetry_path = arg_string(args, "--telemetry", "");
+  f.slo = arg_present(args, "--slo");
+  f.sample_every = arg_int(args, "--sample-every", 1);
+  f.max_trace_events = arg_int(args, "--max-trace-events", 0);
+  return f;
 }
 
 /// The per-model session flags shared by `rt3 serve` and `rt3 node`.
@@ -250,20 +339,30 @@ int cmd_serve(const std::vector<std::string>& args) {
   ServeSessionConfig scfg = parse_session_config(args);
   TrafficConfig tcfg = parse_traffic_config(args);
   const std::int64_t producers = arg_int(args, "--producers", 2);
-  const std::string trace_path = arg_string(args, "--trace", "");
-  const std::string metrics_path = arg_string(args, "--metrics", "");
+  const ObsFlags obs_flags = parse_obs_flags(args);
 
   const std::vector<Request> schedule = generate_traffic(tcfg);
   ServeSession session(scfg);
   // Wall stamps are fine here: the CLI is for humans, not byte-compare
   // tests (which construct their own recorder with record_wall off).
-  TraceRecorder trace(/*record_wall=*/true);
+  TraceRecorder trace(
+      TraceConfig{/*record_wall=*/true, obs_flags.max_trace_events});
   MetricsRegistry metrics;
-  if (!trace_path.empty()) {
+  TelemetryConfig telemetry_cfg;
+  telemetry_cfg.sample_every_batches = obs_flags.sample_every;
+  TelemetrySampler telemetry(telemetry_cfg);
+  SloMonitor slo(SloMonitor::default_rules());
+  if (!obs_flags.trace_path.empty()) {
     session.server().set_trace(&trace);
   }
-  if (!metrics_path.empty()) {
+  if (!obs_flags.metrics_path.empty()) {
     session.server().set_metrics(&metrics);
+  }
+  if (!obs_flags.telemetry_path.empty()) {
+    session.server().set_telemetry(&telemetry);
+  }
+  if (obs_flags.slo) {
+    session.server().set_slo(&slo);
   }
   std::cout << "serving " << schedule.size() << " requests ("
             << traffic_scenario_name(tcfg.scenario) << ", "
@@ -317,9 +416,16 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::cout << "\nbattery died mid-session: " << stats.dropped
               << " requests dropped (accounted above).\n";
   }
-  report_observability(trace_path.empty() ? nullptr : &trace, trace_path,
-                       metrics_path.empty() ? nullptr : &metrics,
-                       metrics_path);
+  ObsOutputs obs;
+  obs.trace = obs_flags.trace_path.empty() ? nullptr : &trace;
+  obs.trace_path = obs_flags.trace_path;
+  obs.metrics = obs_flags.metrics_path.empty() ? nullptr : &metrics;
+  obs.metrics_path = obs_flags.metrics_path;
+  obs.metrics_format = obs_flags.metrics_format;
+  obs.telemetry = obs_flags.telemetry_path.empty() ? nullptr : &telemetry;
+  obs.telemetry_path = obs_flags.telemetry_path;
+  obs.slo = obs_flags.slo ? &slo : nullptr;
+  report_observability(obs, obs.trace != nullptr ? &trace : nullptr);
   return 0;
 }
 
@@ -328,18 +434,28 @@ int cmd_node(const std::vector<std::string>& args) {
   TrafficConfig tcfg = parse_traffic_config(args);
   tcfg.num_models = arg_int(args, "--models", 3);
   const std::int64_t producers = arg_int(args, "--producers", 2);
-  const std::string trace_path = arg_string(args, "--trace", "");
-  const std::string metrics_path = arg_string(args, "--metrics", "");
+  const ObsFlags obs_flags = parse_obs_flags(args);
 
   const std::vector<Request> schedule = generate_traffic(tcfg);
   NodeSession session(scfg, tcfg.num_models);
-  TraceRecorder trace(/*record_wall=*/true);
+  TraceRecorder trace(
+      TraceConfig{/*record_wall=*/true, obs_flags.max_trace_events});
   MetricsRegistry metrics;
-  if (!trace_path.empty()) {
+  TelemetryConfig telemetry_cfg;
+  telemetry_cfg.sample_every_batches = obs_flags.sample_every;
+  TelemetrySampler telemetry(telemetry_cfg);
+  SloMonitor slo(SloMonitor::default_rules());
+  if (!obs_flags.trace_path.empty()) {
     session.node().set_trace(&trace);
   }
-  if (!metrics_path.empty()) {
+  if (!obs_flags.metrics_path.empty()) {
     session.node().set_metrics(&metrics);
+  }
+  if (!obs_flags.telemetry_path.empty()) {
+    session.node().set_telemetry(&telemetry);
+  }
+  if (obs_flags.slo) {
+    session.node().set_slo(&slo);
   }
   std::cout << "node: " << tcfg.num_models
             << " backbone-resident models behind ONE "
@@ -370,10 +486,51 @@ int cmd_node(const std::vector<std::string>& args) {
     std::cout << "\nbattery died mid-session: " << stats.dropped
               << " requests dropped (accounted per model above).\n";
   }
-  report_observability(trace_path.empty() ? nullptr : &trace, trace_path,
-                       metrics_path.empty() ? nullptr : &metrics,
-                       metrics_path);
+  ObsOutputs obs;
+  obs.trace = obs_flags.trace_path.empty() ? nullptr : &trace;
+  obs.trace_path = obs_flags.trace_path;
+  obs.metrics = obs_flags.metrics_path.empty() ? nullptr : &metrics;
+  obs.metrics_path = obs_flags.metrics_path;
+  obs.metrics_format = obs_flags.metrics_format;
+  obs.telemetry = obs_flags.telemetry_path.empty() ? nullptr : &telemetry;
+  obs.telemetry_path = obs_flags.telemetry_path;
+  obs.slo = obs_flags.slo ? &slo : nullptr;
+  report_observability(obs, obs.trace != nullptr ? &trace : nullptr);
   return 0;
+}
+
+/// Thin wrapper shelling out to tools/report.py: renders a session's
+/// telemetry series + SLO breaches + miss attribution into a terminal
+/// summary and/or a self-contained HTML report.
+int cmd_report(const std::vector<std::string>& args) {
+  std::string script;
+  for (const char* candidate : {"tools/report.py", "../tools/report.py"}) {
+    if (std::ifstream(candidate).good()) {
+      script = candidate;
+      break;
+    }
+  }
+  if (script.empty()) {
+    std::cerr << "rt3 report: cannot find tools/report.py (run from the "
+                 "repo root or the build directory)\n";
+    return 2;
+  }
+  std::string cmd = "python3 " + script;
+  for (const std::string& a : args) {
+    // POSIX single-quote escaping so paths with spaces survive.
+    std::string quoted = "'";
+    for (const char c : a) {
+      if (c == '\'') {
+        quoted += "'\\''";
+      } else {
+        quoted += c;
+      }
+    }
+    quoted += "'";
+    cmd += " " + quoted;
+  }
+  const int rc = std::system(cmd.c_str());
+  return rc == 0 ? 0 : 1;
 }
 
 int usage() {
@@ -388,12 +545,16 @@ int usage() {
       "           [--capacity MJ] [--t MS] [--rate RPS] [--duration MS]\n"
       "           [--slack MS] [--batch N] [--wait MS] [--threads N] [--shed]\n"
       "           [--admit] [--producers N] [--seed S] [--trace FILE]\n"
-      "           [--metrics FILE]\n"
+      "           [--max-trace-events N] [--metrics FILE]\n"
+      "           [--metrics-format json|prom] [--telemetry FILE]\n"
+      "           [--sample-every N] [--slo]\n"
       "                                 (flags accept --flag=value too)\n"
       "                                                 battery-aware serving\n"
       "  node     [--models N] + every serve flag       multi-model node:\n"
       "                                 N models, ONE battery/governor,\n"
       "                                 model-id routing + admission\n"
+      "  report   [--trace F] [--telemetry F] [--metrics F] [--out F.html]\n"
+      "                                                 render a session report\n"
       "  levels                                         print the V/F ladder\n";
   return 2;
 }
@@ -429,6 +590,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "node") {
       return cmd_node(args);
+    }
+    if (cmd == "report") {
+      return cmd_report(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
