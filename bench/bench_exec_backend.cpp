@@ -19,6 +19,8 @@
 #include "exec/analytic_backend.hpp"
 #include "exec/calibrator.hpp"
 #include "exec/measured_backend.hpp"
+#include "exec/simd.hpp"
+#include "perf/latency_model.hpp"
 #include "pruning/model_pruner.hpp"
 #include "pruning/pattern_prune.hpp"
 #include "serve/server.hpp"
@@ -32,6 +34,18 @@ using namespace rt3;
 double median(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
   return xs[xs.size() / 2];
+}
+
+// Min-of-many wall time for one (layer, level-0) plan under the CURRENT
+// forced ISA.  Min, not median: contention only ever adds time.
+double min_layer_ms(MeasuredBackend& backend, std::int64_t layer,
+                    std::int64_t batch, std::int64_t iters) {
+  const KernelOptions opts;  // backend defaults; tuning is ignored here
+  double best = 1e300;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    best = std::min(best, backend.time_layer_ms(layer, 0, batch, opts));
+  }
+  return best;
 }
 
 }  // namespace
@@ -132,6 +146,60 @@ int main(int argc, char** argv) {
   }
   std::cout << t.str() << "\n";
 
+  // SIMD-vs-scalar kernel speedup per family at level 0: the same plan is
+  // timed under a forced-scalar table and under the detected ISA, so the
+  // ratio is pure vectorization win (outputs are bitwise identical either
+  // way).  Median across the 3 layers of per-layer min-of-many ratios;
+  // single worker thread so the ratio is not polluted by scheduling.
+  const SimdIsa detected = detect_simd_isa();
+  const std::int64_t speed_batch = 32;
+  const std::int64_t speed_iters = std::max<std::int64_t>(12, repeats * 8);
+  TablePrinter st({"family", "scalar (ms)", simd_isa_name(detected) +
+                                                std::string(" (ms)"),
+                   "speedup"});
+  std::string speed_json;
+  const ExecMode speed_modes[] = {ExecMode::kDense, ExecMode::kBlock,
+                                  ExecMode::kPattern, ExecMode::kIrregular};
+  for (ExecMode mode : speed_modes) {
+    MeasuredBackendConfig kcfg;
+    kcfg.mode = mode;
+    kcfg.threads = 1;
+    kcfg.max_batch = std::max<std::int64_t>(kcfg.max_batch, speed_batch);
+    const bool wants_set =
+        mode == ExecMode::kPattern || mode == ExecMode::kIrregular;
+    const std::vector<PatternSet> level_sets =
+        wants_set ? std::vector<PatternSet>{sets.front()}
+                  : std::vector<PatternSet>{};
+    MeasuredBackend kb(kcfg, layers, pruner.backbone_masks(), level_sets,
+                       {1000.0});
+    kb.run_batch(1, 0);  // warm caches + pool
+    std::vector<double> ratios, scalars, simds;
+    for (std::int64_t li = 0; li < 3; ++li) {
+      set_simd_isa(SimdIsa::kScalar);
+      const double scalar_ms = min_layer_ms(kb, li, speed_batch, speed_iters);
+      set_simd_isa(detected);
+      const double simd_ms = min_layer_ms(kb, li, speed_batch, speed_iters);
+      scalars.push_back(scalar_ms);
+      simds.push_back(simd_ms);
+      ratios.push_back(scalar_ms / simd_ms);
+    }
+    const double scalar_med = median(scalars);
+    const double simd_med = median(simds);
+    const double speedup = median(ratios);
+    const char* fam = exec_mode_name(mode);
+    st.add_row({fam, fmt_f(scalar_med, 5), fmt_f(simd_med, 5),
+                fmt_f(speedup, 2) + "x"});
+    speed_json += std::string(speed_json.empty() ? "" : ",\n") +
+                  "      \"" + fam + "\": {\"scalar_ms\": " +
+                  std::to_string(scalar_med) +
+                  ", \"simd_ms\": " + std::to_string(simd_med) +
+                  ", \"speedup\": " + std::to_string(speedup) + "}";
+  }
+  std::cout << "kernel speedup vs forced-scalar ("
+            << simd_isa_name(detected) << ", batch " << speed_batch
+            << ", level 0, median of per-layer ratios):\n"
+            << st.str() << "\n";
+
   // Calibration fit over the same layers.
   CalibratorConfig ccfg;
   ccfg.batch_sizes = {1, 2, 4, 8};
@@ -159,6 +227,10 @@ int main(int argc, char** argv) {
   std::cout << "measured burst session:\n" << stats.summary();
 
   std::string json = "{\n  \"levels\": [\n" + levels_json + "\n  ],\n";
+  json += "  \"kernel_speedup\": {\n    \"isa\": \"" +
+          std::string(simd_isa_name(detected)) +
+          "\",\n    \"batch\": " + std::to_string(speed_batch) +
+          ",\n    \"families\": {\n" + speed_json + "\n    }\n  },\n";
   json += "  \"plan_build_wall_ms\": " +
           std::to_string(measured.plans().build_wall_ms()) + ",\n";
   json += "  \"calibration\": {\"macs_per_cycle\": " +

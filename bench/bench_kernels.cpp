@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "exec/kernels.hpp"
+#include "exec/simd.hpp"
 #include "pruning/model_pruner.hpp"
 #include "sparse/block_format.hpp"
 #include "sparse/formats.hpp"
@@ -87,6 +89,55 @@ void BM_PatternSpmm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatternSpmm);
+
+// SIMD-vs-scalar pairs over the measured-backend kernel entry points.
+// Same inputs, same bitwise outputs — the delta is pure vectorization.
+// The ISA is forced around the timing loop and restored afterwards so
+// later benchmarks in the binary see the detected ISA again.
+
+void run_dense_gemm_with_isa(benchmark::State& state, SimdIsa isa) {
+  Rng rng(3);
+  const Tensor w = Tensor::randn({kRows, kCols}, rng);
+  const Tensor x = make_activation();
+  const KernelOptions opts;
+  set_simd_isa(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense_gemm(w, x, nullptr, opts));
+  }
+  set_simd_isa(detect_simd_isa());
+}
+
+void BM_DenseGemmScalar(benchmark::State& state) {
+  run_dense_gemm_with_isa(state, SimdIsa::kScalar);
+}
+BENCHMARK(BM_DenseGemmScalar);
+
+void BM_DenseGemmSimd(benchmark::State& state) {
+  run_dense_gemm_with_isa(state, detect_simd_isa());
+}
+BENCHMARK(BM_DenseGemmSimd);
+
+void run_block_gemm_with_isa(benchmark::State& state, SimdIsa isa) {
+  const BlockPrunedMatrix blocked =
+      BlockPrunedMatrix::from_dense(make_block_sparse_weight(), 4);
+  const Tensor x = make_activation();
+  const KernelOptions opts;
+  set_simd_isa(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block_gemm(blocked, x, nullptr, opts));
+  }
+  set_simd_isa(detect_simd_isa());
+}
+
+void BM_BlockGemmScalar(benchmark::State& state) {
+  run_block_gemm_with_isa(state, SimdIsa::kScalar);
+}
+BENCHMARK(BM_BlockGemmScalar);
+
+void BM_BlockGemmSimd(benchmark::State& state) {
+  run_block_gemm_with_isa(state, detect_simd_isa());
+}
+BENCHMARK(BM_BlockGemmSimd);
 
 void BM_MaskComposition(benchmark::State& state) {
   // The wall-clock cost of an RT3 pattern-set switch at host scale: mask

@@ -31,10 +31,14 @@ CalibrationResult Calibrator::run(const MeasuredBackendConfig& base,
     cfg.mode = mode;
     cfg.max_batch = std::max(cfg.max_batch, max_batch);
     cfg.latency_scale = 1.0;
+    // kIrregular gets the same pattern set as kPattern so its plans hold
+    // identical nonzeros and the measured gap is pure indexing overhead.
+    const bool prune_to_set =
+        (mode == ExecMode::kPattern || mode == ExecMode::kIrregular) &&
+        !sets.empty();
     const std::vector<PatternSet> level_sets =
-        mode == ExecMode::kPattern
-            ? std::vector<PatternSet>{sets.front()}
-            : std::vector<PatternSet>{};
+        prune_to_set ? std::vector<PatternSet>{sets.front()}
+                     : std::vector<PatternSet>{};
     MeasuredBackend backend(cfg, layers, backbone_masks, level_sets,
                             {1000.0});
     backend.activate_level(0);

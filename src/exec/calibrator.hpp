@@ -23,8 +23,12 @@ struct CalibratorConfig {
   /// fit; any positive value works, it cancels out of latency ratios.
   double host_freq_mhz = 2000.0;
   /// Modes to measure; kPattern is skipped when no pattern set is given.
+  /// kIrregular runs the SAME nonzeros as kPattern (the level's
+  /// pattern-pruned weights as COO triples) so the fitted
+  /// irregular_overhead isolates pure indexing cost — the paper's
+  /// Challenge 1, measured instead of assumed.
   std::vector<ExecMode> modes = {ExecMode::kDense, ExecMode::kBlock,
-                                 ExecMode::kPattern};
+                                 ExecMode::kPattern, ExecMode::kIrregular};
 };
 
 struct CalibrationResult {

@@ -5,27 +5,49 @@
 #include <functional>
 
 #include "common/check.hpp"
+#include "exec/kernels_dispatch.hpp"
+#include "exec/simd.hpp"
 
 namespace rt3 {
 namespace {
 
-/// Splits [0, total) into per-worker row ranges (chunk boundaries rounded
-/// to `align` rows) and runs `body(begin, end)` on the pool; serial when
-/// the pool is absent or the matrix is too small to amortize dispatch.
-void parallel_rows(ThreadPool* pool, std::int64_t total, std::int64_t grain,
-                   std::int64_t align,
+/// Splits [0, total) into at most min(pool workers, options.threads) row
+/// chunks — never more chunks than can run concurrently, so no worker
+/// queues behind another while its siblings idle.  Chunk boundaries are
+/// multiples of `align` rows; the remainder is spread one align-unit at a
+/// time across the leading chunks so sizes differ by at most one unit.
+/// Serial when the pool is absent, capped to one thread, or the matrix is
+/// too small to amortize dispatch.
+void parallel_rows(ThreadPool* pool, std::int64_t total,
+                   const KernelOptions& options, std::int64_t align,
                    const std::function<void(std::int64_t, std::int64_t)>& body) {
-  if (pool == nullptr || pool->num_threads() <= 1 || total < 2 * grain) {
+  if (total <= 0) {
+    return;
+  }
+  std::int64_t max_chunks = pool == nullptr ? 1 : pool->num_threads();
+  if (options.threads > 0) {
+    max_chunks = std::min(max_chunks, options.threads);
+  }
+  if (max_chunks <= 1 || total < 2 * options.row_grain) {
     body(0, total);
     return;
   }
-  const std::int64_t workers = pool->num_threads();
-  std::int64_t chunk = (total + workers - 1) / workers;
-  chunk = std::max(chunk, grain);
-  chunk = ((chunk + align - 1) / align) * align;
-  for (std::int64_t begin = 0; begin < total; begin += chunk) {
-    const std::int64_t end = std::min(begin + chunk, total);
+  const std::int64_t units = (total + align - 1) / align;
+  const std::int64_t grain_units =
+      std::max<std::int64_t>(1, options.row_grain / align);
+  std::int64_t chunks = std::min(max_chunks, units / grain_units);
+  if (chunks <= 1) {
+    body(0, total);
+    return;
+  }
+  const std::int64_t base = units / chunks;
+  const std::int64_t rem = units % chunks;
+  std::int64_t begin = 0;
+  for (std::int64_t c = 0; c < chunks && begin < total; ++c) {
+    const std::int64_t take = (base + (c < rem ? 1 : 0)) * align;
+    const std::int64_t end = std::min(begin + take, total);
     pool->submit([&body, begin, end] { body(begin, end); });
+    begin = end;
   }
   pool->wait_idle();
 }
@@ -35,7 +57,30 @@ void check_matmul_shapes(std::int64_t w_cols, const Tensor& x) {
         "exec kernel: activation shape mismatch");
 }
 
+void check_options(const KernelOptions& options) {
+  check(options.k_tile >= 0 && options.row_grain >= 1 &&
+            options.unroll >= 1 && options.threads >= 0,
+        "exec kernel: bad kernel options");
+}
+
 }  // namespace
+
+const KernelTable& kernel_table_for(SimdIsa isa) {
+  const KernelTable* table = nullptr;
+  switch (isa) {
+    case SimdIsa::kScalar:
+      table = scalar_kernel_table();
+      break;
+    case SimdIsa::kAvx2:
+      table = avx2_kernel_table();
+      break;
+    case SimdIsa::kNeon:
+      table = neon_kernel_table();
+      break;
+  }
+  check(table != nullptr, "kernel_table_for: ISA not available in this build");
+  return *table;
+}
 
 Tensor naive_dense_matmul(const Tensor& w, const Tensor& x) {
   check(w.dim() == 2, "naive_dense_matmul: need a 2-D weight");
@@ -59,107 +104,117 @@ Tensor naive_dense_matmul(const Tensor& w, const Tensor& x) {
   return out;
 }
 
+std::int64_t resolve_k_tile(const KernelOptions& options, std::int64_t cols,
+                            std::int64_t n) {
+  if (options.k_tile > 0) {
+    return options.k_tile;
+  }
+  // Auto: keep the active X slice (k_tile rows of n floats) within half
+  // the per-core L1d so it survives the row sweep; the floor of 16 keeps
+  // tiles from degenerating when n alone overflows L1 (the slice then
+  // lives in L2, which the probe also sizes).
+  const std::int64_t budget =
+      std::max<std::int64_t>(cpu_l1d_bytes() / 2, 8 * 1024);
+  const std::int64_t kt =
+      budget / std::max<std::int64_t>(1, n * static_cast<std::int64_t>(
+                                              sizeof(float)));
+  return std::max<std::int64_t>(16, std::min(kt, cols));
+}
+
 Tensor dense_gemm(const Tensor& w, const Tensor& x, ThreadPool* pool,
                   const KernelOptions& options) {
   check(w.dim() == 2, "dense_gemm: need a 2-D weight");
   check_matmul_shapes(w.size(1), x);
-  check(options.k_tile >= 1 && options.row_grain >= 1,
-        "dense_gemm: bad kernel options");
+  check_options(options);
   const std::int64_t rows = w.size(0);
   const std::int64_t cols = w.size(1);
   const std::int64_t n = x.size(1);
   Tensor out({rows, n});
-  const float* wd = w.data();
-  const float* xd = x.data();
-  float* od = out.data();
-  const std::int64_t kt = options.k_tile;
-  parallel_rows(pool, rows, options.row_grain, 1,
+  const KernelTable& table = kernel_table_for(active_simd_isa());
+  DenseRangeArgs args;
+  args.w = w.data();
+  args.x = x.data();
+  args.out = out.data();
+  args.cols = cols;
+  args.n = n;
+  args.k_tile = resolve_k_tile(options, cols, n);
+  args.unroll = options.unroll;
+  parallel_rows(pool, rows, options, 1,
                 [&](std::int64_t r0, std::int64_t r1) {
-    // k-tiled ikj order: the kt rows of X stay hot across the row sweep;
-    // each out element still sees k ascending, so results match the naive
-    // reference bitwise.
-    for (std::int64_t kk = 0; kk < cols; kk += kt) {
-      const std::int64_t kend = std::min(kk + kt, cols);
-      for (std::int64_t r = r0; r < r1; ++r) {
-        const float* wrow = wd + r * cols;
-        float* orow = od + r * n;
-        for (std::int64_t k = kk; k < kend; ++k) {
-          const float v = wrow[k];
-          const float* xrow = xd + k * n;
-          for (std::int64_t j = 0; j < n; ++j) {
-            orow[j] = std::fma(v, xrow[j], orow[j]);
-          }
-        }
-      }
-    }
-  });
+                  table.dense_range(args, r0, r1);
+                });
   return out;
 }
 
 Tensor block_gemm(const BlockPrunedMatrix& w, const Tensor& x,
                   ThreadPool* pool, const KernelOptions& options) {
   check_matmul_shapes(w.cols(), x);
+  check_options(options);
   const std::int64_t rows = w.rows();
   const std::int64_t n = x.size(1);
-  const std::int64_t block_rows = w.block_rows();
   Tensor out({rows, n});
-  const float* xd = x.data();
-  float* od = out.data();
-  parallel_rows(pool, rows, options.row_grain, 1,
+  const KernelTable& table = kernel_table_for(active_simd_isa());
+  BlockRangeArgs args;
+  args.w = &w;
+  args.x = x.data();
+  args.out = out.data();
+  args.n = n;
+  args.unroll = options.unroll;
+  parallel_rows(pool, rows, options, 1,
                 [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t r = r0; r < r1; ++r) {
-      const std::int64_t b = r / block_rows;
-      const std::int64_t lr = r - b * block_rows;
-      const auto& kept = w.kept_cols(b);
-      const auto& vals = w.block_values(b);
-      const std::int64_t k = static_cast<std::int64_t>(kept.size());
-      float* orow = od + r * n;
-      for (std::int64_t ci = 0; ci < k; ++ci) {
-        const float v = vals[static_cast<std::size_t>(lr * k + ci)];
-        const float* xrow = xd + kept[static_cast<std::size_t>(ci)] * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          orow[j] = std::fma(v, xrow[j], orow[j]);
-        }
-      }
-    }
-  });
+                  table.block_range(args, r0, r1);
+                });
   return out;
 }
 
 Tensor pattern_gemm(const PatternPlan& plan, const Tensor& x,
                     ThreadPool* pool, const KernelOptions& options) {
   check_matmul_shapes(plan.cols, x);
+  check_options(options);
   const std::int64_t n = x.size(1);
-  const std::int64_t p = plan.psize;
+  Tensor out({plan.rows, n});
+  const KernelTable& table = kernel_table_for(active_simd_isa());
+  PatternRangeArgs args;
+  args.plan = &plan;
+  args.x = x.data();
+  args.out = out.data();
+  args.n = n;
+  args.unroll = options.unroll;
+  // Partition aligned to tile rows: each worker owns whole tile-rows.
+  parallel_rows(pool, plan.rows, options, plan.psize,
+                [&](std::int64_t r0, std::int64_t r1) {
+                  table.pattern_range(args, r0, r1);
+                });
+  return out;
+}
+
+Tensor coo_gemm(const IrregularPlan& plan, const Tensor& x, ThreadPool* pool,
+                const KernelOptions& options) {
+  check_matmul_shapes(plan.cols, x);
+  check_options(options);
+  check(plan.row_start.size() ==
+            static_cast<std::size_t>(plan.rows) + 1,
+        "coo_gemm: plan missing row_start partition");
+  const std::int64_t n = x.size(1);
   Tensor out({plan.rows, n});
   const float* xd = x.data();
   float* od = out.data();
-  // Partition aligned to tile rows: each worker owns whole tile-rows.
-  parallel_rows(pool, plan.rows, options.row_grain, p,
-                [&](std::int64_t row0, std::int64_t row1) {
-    const std::int64_t tr0 = row0 / p;
-    const std::int64_t tr1 = (row1 + p - 1) / p;
-    for (std::int64_t tr = tr0; tr < tr1; ++tr) {
-      const std::int64_t rmax = std::min(p, plan.rows - tr * p);
-      for (std::int64_t r = 0; r < rmax; ++r) {
-        float* orow = od + (tr * p + r) * n;
-        // Tiles ascending => contributions per out element arrive in
-        // ascending global-column order, matching the naive reference.
-        for (std::int64_t tc = 0; tc < plan.tiles_c; ++tc) {
-          const PatternTile& tile =
-              plan.tiles[static_cast<std::size_t>(tr * plan.tiles_c + tc)];
-          const std::int32_t* row_ptr = plan.tile_row_ptr(tile);
-          const std::int32_t* tcols = plan.tile_cols(tile);
-          const float* vals = plan.values.data() + tile.value_offset;
-          const float* xbase = xd + tc * p * n;
-          for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-            const float v = vals[i];
-            const float* xrow = xbase + tcols[i] * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-              orow[j] = std::fma(v, xrow[j], orow[j]);
-            }
-          }
-        }
+  // Deliberately element-at-a-time: every triple re-loads its row/col
+  // indices and round-trips the output row through memory, with no
+  // vectorization and no accumulator reuse across triples.  Triples are
+  // row-major sorted, so each output lane still sees ascending-k fma
+  // order and the result is bitwise equal to the dense reference.
+  parallel_rows(pool, plan.rows, options, 1,
+                [&](std::int64_t r0, std::int64_t r1) {
+    const std::int64_t e0 = plan.row_start[static_cast<std::size_t>(r0)];
+    const std::int64_t e1 = plan.row_start[static_cast<std::size_t>(r1)];
+    for (std::int64_t e = e0; e < e1; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      const float v = plan.values[ei];
+      const float* xrow = xd + plan.col_idx[ei] * n;
+      float* orow = od + plan.row_idx[ei] * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        orow[j] = std::fma(v, xrow[j], orow[j]);
       }
     }
   });
@@ -176,7 +231,7 @@ Tensor plan_gemm(const LayerPlan& plan, const Tensor& x, ThreadPool* pool,
     case ExecMode::kPattern:
       return pattern_gemm(*plan.pattern, x, pool, options);
     case ExecMode::kIrregular:
-      break;
+      return coo_gemm(*plan.irregular, x, pool, options);
   }
   throw CheckError("plan_gemm: unsupported mode");
 }

@@ -1,0 +1,74 @@
+// Internal dispatch seam between the public kernel entry points
+// (exec/kernels.hpp) and the per-ISA inner-loop instantiations.
+//
+// Each ISA contributes one KernelTable of row-range functions; the tables
+// are built from the SAME templated bodies (exec/kernels_inner.hpp), so
+// every ISA executes the identical per-lane ascending-k accumulation
+// sequence and differs only in how many lanes advance per instruction.
+// Tables for ISAs the build cannot produce are nullptr and detection
+// (exec/simd.hpp) skips them.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/plan.hpp"
+#include "exec/simd.hpp"
+
+namespace rt3 {
+
+/// Dense GEMM row-range arguments: out[R,N] += W[R,C] x X[C,N] over rows
+/// [r0, r1), k-tiled by `k_tile`, `unroll` independent j-vectors in
+/// flight per row.
+struct DenseRangeArgs {
+  const float* w = nullptr;
+  const float* x = nullptr;
+  float* out = nullptr;
+  std::int64_t cols = 0;
+  std::int64_t n = 0;
+  std::int64_t k_tile = 64;
+  std::int64_t unroll = 1;
+};
+
+/// Kept-column block GEMM row-range arguments.
+struct BlockRangeArgs {
+  const BlockPrunedMatrix* w = nullptr;
+  const float* x = nullptr;
+  float* out = nullptr;
+  std::int64_t n = 0;
+  std::int64_t unroll = 1;
+};
+
+/// Pattern-CSR GEMM arguments; ranges are tile-row aligned (multiples of
+/// the plan's psize) so each worker owns whole tile rows.
+struct PatternRangeArgs {
+  const PatternPlan* plan = nullptr;
+  const float* x = nullptr;
+  float* out = nullptr;
+  std::int64_t n = 0;
+  std::int64_t unroll = 1;
+};
+
+/// One ISA's kernel family.  All functions process output rows [r0, r1)
+/// and are safe to run concurrently on disjoint ranges.
+struct KernelTable {
+  const char* name = "scalar";
+  std::int64_t width = 1;
+  void (*dense_range)(const DenseRangeArgs&, std::int64_t r0,
+                      std::int64_t r1) = nullptr;
+  void (*block_range)(const BlockRangeArgs&, std::int64_t r0,
+                      std::int64_t r1) = nullptr;
+  void (*pattern_range)(const PatternRangeArgs&, std::int64_t r0,
+                        std::int64_t r1) = nullptr;
+};
+
+/// Always available.
+const KernelTable* scalar_kernel_table();
+/// nullptr unless the build produced AVX2+FMA code (x86 only).
+const KernelTable* avx2_kernel_table();
+/// nullptr off aarch64.
+const KernelTable* neon_kernel_table();
+
+/// Table for an ISA; throws CheckError when the build lacks it.
+const KernelTable& kernel_table_for(SimdIsa isa);
+
+}  // namespace rt3

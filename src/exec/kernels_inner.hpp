@@ -1,0 +1,274 @@
+// Templated inner-loop bodies shared by every ISA instantiation.
+//
+// A vector type V models W = V::kWidth adjacent activation lanes:
+//   load/store  : W contiguous floats
+//   broadcast   : one weight splat across lanes
+//   fma(a,b,c)  : per-lane fused multiply-add, SINGLE rounding per step
+// Each output element's accumulation is one per-lane fma chain over
+// ascending k, identical to the scalar reference (std::fma is also a
+// single-rounding fused op), so kernels built from these bodies are
+// bitwise equal to naive_dense_matmul lane by lane — for any W, any
+// unroll factor, any tiling, and any thread count.
+//
+// U > 1 keeps U independent j-vector accumulator chains in flight per
+// row; chains never mix lanes, so the per-lane operation sequence is
+// unchanged while the fma pipeline stays busy.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "exec/kernels_dispatch.hpp"
+
+namespace rt3 {
+namespace inner {
+
+/// Portable reference lanes (width 1).  Also the tail implementation every
+/// wider ISA falls back to for n % W lanes.
+struct VecScalar {
+  static constexpr std::int64_t kWidth = 1;
+  using Reg = float;
+  static Reg load(const float* p) { return *p; }
+  static void store(float* p, Reg r) { *p = r; }
+  static Reg broadcast(float v) { return v; }
+  static Reg fma(Reg a, Reg b, Reg c) { return std::fma(a, b, c); }
+};
+
+template <class V, int U>
+void dense_rows(const DenseRangeArgs& a, std::int64_t r0, std::int64_t r1) {
+  constexpr std::int64_t w = V::kWidth;
+  const std::int64_t cols = a.cols;
+  const std::int64_t n = a.n;
+  const std::int64_t kt = a.k_tile;
+  for (std::int64_t kk = 0; kk < cols; kk += kt) {
+    const std::int64_t kend = std::min(kk + kt, cols);
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* wrow = a.w + r * cols;
+      float* orow = a.out + r * n;
+      std::int64_t j = 0;
+      for (; j + w * U <= n; j += w * U) {
+        typename V::Reg acc[U];
+        for (int u = 0; u < U; ++u) {
+          acc[u] = V::load(orow + j + u * w);
+        }
+        for (std::int64_t k = kk; k < kend; ++k) {
+          const auto v = V::broadcast(wrow[k]);
+          const float* xp = a.x + k * n + j;
+          for (int u = 0; u < U; ++u) {
+            acc[u] = V::fma(v, V::load(xp + u * w), acc[u]);
+          }
+        }
+        for (int u = 0; u < U; ++u) {
+          V::store(orow + j + u * w, acc[u]);
+        }
+      }
+      for (; j + w <= n; j += w) {  // single-vector tail
+        auto acc = V::load(orow + j);
+        for (std::int64_t k = kk; k < kend; ++k) {
+          acc = V::fma(V::broadcast(wrow[k]), V::load(a.x + k * n + j), acc);
+        }
+        V::store(orow + j, acc);
+      }
+      for (; j < n; ++j) {  // scalar tail lanes, same ascending-k chain
+        float acc = orow[j];
+        for (std::int64_t k = kk; k < kend; ++k) {
+          acc = std::fma(wrow[k], a.x[k * n + j], acc);
+        }
+        orow[j] = acc;
+      }
+    }
+  }
+}
+
+template <class V, int U>
+void block_rows(const BlockRangeArgs& a, std::int64_t r0, std::int64_t r1) {
+  constexpr std::int64_t w = V::kWidth;
+  const std::int64_t n = a.n;
+  const std::int64_t rows_per_block = a.w->block_rows();
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const std::int64_t b = r / rows_per_block;
+    const std::int64_t lr = r - b * rows_per_block;
+    const auto& kept = a.w->kept_cols(b);
+    const auto& vals = a.w->block_values(b);
+    const std::int64_t kc = static_cast<std::int64_t>(kept.size());
+    const float* vrow = vals.data() + lr * kc;
+    float* orow = a.out + r * n;
+    std::int64_t j = 0;
+    for (; j + w * U <= n; j += w * U) {
+      typename V::Reg acc[U];
+      for (int u = 0; u < U; ++u) {
+        acc[u] = V::load(orow + j + u * w);
+      }
+      for (std::int64_t ci = 0; ci < kc; ++ci) {
+        const auto v = V::broadcast(vrow[ci]);
+        const float* xp =
+            a.x + kept[static_cast<std::size_t>(ci)] * n + j;
+        for (int u = 0; u < U; ++u) {
+          acc[u] = V::fma(v, V::load(xp + u * w), acc[u]);
+        }
+      }
+      for (int u = 0; u < U; ++u) {
+        V::store(orow + j + u * w, acc[u]);
+      }
+    }
+    for (; j + w <= n; j += w) {
+      auto acc = V::load(orow + j);
+      for (std::int64_t ci = 0; ci < kc; ++ci) {
+        acc = V::fma(
+            V::broadcast(vrow[ci]),
+            V::load(a.x + kept[static_cast<std::size_t>(ci)] * n + j), acc);
+      }
+      V::store(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = orow[j];
+      for (std::int64_t ci = 0; ci < kc; ++ci) {
+        acc = std::fma(vrow[ci],
+                       a.x[kept[static_cast<std::size_t>(ci)] * n + j], acc);
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+/// One row's full tile sweep into U resident accumulators.  Tiles ascend
+/// in tc and kept columns ascend within each tile row, so contributions
+/// per lane arrive in ascending global-column order (the reference order).
+template <class V, int U>
+void pattern_rows(const PatternRangeArgs& a, std::int64_t row0,
+                  std::int64_t row1) {
+  constexpr std::int64_t w = V::kWidth;
+  const PatternPlan& plan = *a.plan;
+  const std::int64_t p = plan.psize;
+  const std::int64_t n = a.n;
+  const std::int64_t tr0 = row0 / p;
+  const std::int64_t tr1 = (row1 + p - 1) / p;
+  for (std::int64_t tr = tr0; tr < tr1; ++tr) {
+    const std::int64_t rmax = std::min(p, plan.rows - tr * p);
+    for (std::int64_t r = 0; r < rmax; ++r) {
+      float* orow = a.out + (tr * p + r) * n;
+      std::int64_t j = 0;
+      for (; j + w * U <= n; j += w * U) {
+        typename V::Reg acc[U];
+        for (int u = 0; u < U; ++u) {
+          acc[u] = V::load(orow + j + u * w);
+        }
+        for (std::int64_t tc = 0; tc < plan.tiles_c; ++tc) {
+          const PatternTile& tile =
+              plan.tiles[static_cast<std::size_t>(tr * plan.tiles_c + tc)];
+          const std::int32_t* row_ptr = plan.tile_row_ptr(tile);
+          const std::int32_t* tcols = plan.tile_cols(tile);
+          const float* vals = plan.values.data() + tile.value_offset;
+          const float* xbase = a.x + tc * p * n + j;
+          for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            const auto v = V::broadcast(vals[i]);
+            const float* xp = xbase + tcols[i] * n;
+            for (int u = 0; u < U; ++u) {
+              acc[u] = V::fma(v, V::load(xp + u * w), acc[u]);
+            }
+          }
+        }
+        for (int u = 0; u < U; ++u) {
+          V::store(orow + j + u * w, acc[u]);
+        }
+      }
+      for (; j + w <= n; j += w) {
+        auto acc = V::load(orow + j);
+        for (std::int64_t tc = 0; tc < plan.tiles_c; ++tc) {
+          const PatternTile& tile =
+              plan.tiles[static_cast<std::size_t>(tr * plan.tiles_c + tc)];
+          const std::int32_t* row_ptr = plan.tile_row_ptr(tile);
+          const std::int32_t* tcols = plan.tile_cols(tile);
+          const float* vals = plan.values.data() + tile.value_offset;
+          const float* xbase = a.x + tc * p * n + j;
+          for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            acc = V::fma(V::broadcast(vals[i]), V::load(xbase + tcols[i] * n),
+                         acc);
+          }
+        }
+        V::store(orow + j, acc);
+      }
+      for (; j < n; ++j) {
+        float acc = orow[j];
+        for (std::int64_t tc = 0; tc < plan.tiles_c; ++tc) {
+          const PatternTile& tile =
+              plan.tiles[static_cast<std::size_t>(tr * plan.tiles_c + tc)];
+          const std::int32_t* row_ptr = plan.tile_row_ptr(tile);
+          const std::int32_t* tcols = plan.tile_cols(tile);
+          const float* vals = plan.values.data() + tile.value_offset;
+          const float* xbase = a.x + tc * p * n + j;
+          for (std::int32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            acc = std::fma(vals[i], xbase[tcols[i] * n], acc);
+          }
+        }
+        orow[j] = acc;
+      }
+    }
+  }
+}
+
+/// Clamps a requested unroll factor to the compiled {1, 2, 4} ladder.
+inline int clamp_unroll(std::int64_t unroll) {
+  if (unroll >= 4) {
+    return 4;
+  }
+  return unroll >= 2 ? 2 : 1;
+}
+
+template <class V>
+void dense_entry(const DenseRangeArgs& a, std::int64_t r0, std::int64_t r1) {
+  switch (clamp_unroll(a.unroll)) {
+    case 4:
+      dense_rows<V, 4>(a, r0, r1);
+      return;
+    case 2:
+      dense_rows<V, 2>(a, r0, r1);
+      return;
+    default:
+      dense_rows<V, 1>(a, r0, r1);
+  }
+}
+
+template <class V>
+void block_entry(const BlockRangeArgs& a, std::int64_t r0, std::int64_t r1) {
+  switch (clamp_unroll(a.unroll)) {
+    case 4:
+      block_rows<V, 4>(a, r0, r1);
+      return;
+    case 2:
+      block_rows<V, 2>(a, r0, r1);
+      return;
+    default:
+      block_rows<V, 1>(a, r0, r1);
+  }
+}
+
+template <class V>
+void pattern_entry(const PatternRangeArgs& a, std::int64_t r0,
+                   std::int64_t r1) {
+  switch (clamp_unroll(a.unroll)) {
+    case 4:
+      pattern_rows<V, 4>(a, r0, r1);
+      return;
+    case 2:
+      pattern_rows<V, 2>(a, r0, r1);
+      return;
+    default:
+      pattern_rows<V, 1>(a, r0, r1);
+  }
+}
+
+template <class V>
+KernelTable make_kernel_table(const char* name) {
+  KernelTable t;
+  t.name = name;
+  t.width = V::kWidth;
+  t.dense_range = &dense_entry<V>;
+  t.block_range = &block_entry<V>;
+  t.pattern_range = &pattern_entry<V>;
+  return t;
+}
+
+}  // namespace inner
+}  // namespace rt3

@@ -9,6 +9,17 @@
 #include "obs/trace.hpp"
 
 namespace rt3 {
+namespace {
+
+/// Validated before pool_ construction (member-init order): a
+/// non-positive thread count is a caller bug, not something to clamp
+/// silently to 1.
+std::int64_t checked_threads(std::int64_t threads) {
+  check(threads >= 1, "MeasuredBackend: threads must be >= 1");
+  return threads;
+}
+
+}  // namespace
 
 MeasuredBackend::MeasuredBackend(MeasuredBackendConfig config,
                                  std::vector<Linear*> layers,
@@ -20,7 +31,7 @@ MeasuredBackend::MeasuredBackend(MeasuredBackendConfig config,
       freqs_(std::move(level_freqs_mhz)),
       plans_(config.mode, layers_, backbone_masks, sets,
              static_cast<std::int64_t>(freqs_.size()), config.bp_blocks),
-      pool_(std::max<std::int64_t>(1, config.threads)) {
+      pool_(checked_threads(config.threads), config.pin_threads) {
   check(!freqs_.empty(), "MeasuredBackend: no levels");
   check(plans_.num_levels() == static_cast<std::int64_t>(freqs_.size()),
         "MeasuredBackend: one frequency per plan level required");
@@ -61,8 +72,10 @@ double MeasuredBackend::run_layers_wall_ms(std::int64_t n) {
   }
   const auto t0 = wall_now();
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    const Tensor out = plan_gemm(plans_.active_plan(static_cast<std::int64_t>(li)),
-                                 xs[li], &pool_, config_.kernel);
+    const LayerPlan& plan = plans_.active_plan(static_cast<std::int64_t>(li));
+    const Tensor out =
+        plan_gemm(plan, xs[li], &pool_,
+                  plan.tuned ? *plan.tuned : config_.kernel);
     sink_ += out[0];
   }
   return wall_ms_since(t0);
@@ -114,7 +127,22 @@ double MeasuredBackend::activate_level(std::int64_t level_pos) {
 }
 
 Tensor MeasuredBackend::run_layer(std::int64_t layer, const Tensor& x) {
-  return plan_gemm(plans_.active_plan(layer), x, &pool_, config_.kernel);
+  const LayerPlan& plan = plans_.active_plan(layer);
+  return plan_gemm(plan, x, &pool_,
+                   plan.tuned ? *plan.tuned : config_.kernel);
+}
+
+double MeasuredBackend::time_layer_ms(std::int64_t layer, std::int64_t level,
+                                      std::int64_t batch,
+                                      const KernelOptions& options) {
+  check(batch >= 1 && batch <= config_.max_batch,
+        "MeasuredBackend: batch size outside the activation buffer");
+  const Tensor x = batch_input(layer, batch * config_.cols_per_request);
+  const LayerPlan& plan = plans_.plan(layer, level);
+  const auto t0 = wall_now();
+  const Tensor out = plan_gemm(plan, x, &pool_, options);
+  sink_ += out[0];
+  return wall_ms_since(t0);
 }
 
 void MeasuredBackend::auto_scale(double target_ms) {

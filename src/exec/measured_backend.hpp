@@ -24,8 +24,15 @@ namespace rt3 {
 struct MeasuredBackendConfig {
   /// Which kernel family executes the layers.
   ExecMode mode = ExecMode::kPattern;
-  /// Kernel worker threads (the backend owns its pool).
+  /// Kernel worker threads (the backend owns its pool).  Must be >= 1;
+  /// non-positive values are rejected at construction rather than
+  /// silently clamped.
   std::int64_t threads = 2;
+  /// Pin worker i to core i % hardware_concurrency (Linux best-effort)
+  /// so latency samples stop paying migration jitter.
+  bool pin_threads = true;
+  /// Backend-wide kernel launch defaults; a plan's autotuned options
+  /// (PlanCache::apply_tuning) take precedence per (layer, level).
   KernelOptions kernel;
   /// Activation columns contributed by one request in a batch.
   std::int64_t cols_per_request = 4;
@@ -74,8 +81,21 @@ class MeasuredBackend : public ExecutionBackend {
   }
 
   /// Runs one layer's ACTIVE plan on an explicit activation — the test
-  /// hook for kernel-vs-reference bitwise checks.
+  /// hook for kernel-vs-reference bitwise checks.  Honors the plan's
+  /// autotuned options when present.
   Tensor run_layer(std::int64_t layer, const Tensor& x);
+
+  /// Wall ms of one (layer, level) plan at batch size `batch` under
+  /// EXPLICIT kernel options (any baked tuning is ignored) — the
+  /// autotuner's measurement hook.  Does not disturb the active level or
+  /// the virtual clock.
+  double time_layer_ms(std::int64_t layer, std::int64_t level,
+                       std::int64_t batch, const KernelOptions& options);
+
+  /// Installs a tuning record into the plan cache; returns entries applied.
+  std::int64_t apply_tuning(const TuningRecord& record) {
+    return plans_.apply_tuning(record);
+  }
 
   /// Measures a batch of 1 at level 0 (median of a few repeats) and sets
   /// latency_scale so it maps to `target_ms` of virtual device time.

@@ -112,6 +112,42 @@ PatternPlan PatternPlan::build(const Tensor& masked_weight,
   return plan;
 }
 
+IrregularPlan IrregularPlan::build(const Tensor& masked_weight) {
+  check(masked_weight.dim() == 2, "IrregularPlan: need a 2-D weight");
+  IrregularPlan plan;
+  plan.rows = masked_weight.size(0);
+  plan.cols = masked_weight.size(1);
+  plan.row_start.reserve(static_cast<std::size_t>(plan.rows) + 1);
+  const float* w = masked_weight.data();
+  for (std::int64_t r = 0; r < plan.rows; ++r) {
+    plan.row_start.push_back(static_cast<std::int64_t>(plan.values.size()));
+    for (std::int64_t c = 0; c < plan.cols; ++c) {
+      const float v = w[r * plan.cols + c];
+      if (v != 0.0F) {
+        plan.row_idx.push_back(static_cast<std::int32_t>(r));
+        plan.col_idx.push_back(static_cast<std::int32_t>(c));
+        plan.values.push_back(v);
+      }
+    }
+  }
+  plan.row_start.push_back(static_cast<std::int64_t>(plan.values.size()));
+  return plan;
+}
+
+Tensor IrregularPlan::to_dense() const {
+  Tensor out({rows, cols});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[static_cast<std::int64_t>(row_idx[i]) * cols + col_idx[i]] =
+        values[i];
+  }
+  return out;
+}
+
+double IrregularPlan::sparsity() const {
+  return 1.0 - static_cast<double>(values.size()) /
+                   static_cast<double>(rows * cols);
+}
+
 const std::int32_t* PatternPlan::tile_row_ptr(const PatternTile& tile) const {
   return tile.pattern_id >= 0
              ? compiled[static_cast<std::size_t>(tile.pattern_id)]
@@ -160,7 +196,7 @@ Tensor LayerPlan::dense_equivalent() const {
     case ExecMode::kPattern:
       return pattern->to_dense();
     case ExecMode::kIrregular:
-      break;
+      return irregular->to_dense();
   }
   throw CheckError("LayerPlan: unsupported mode");
 }
@@ -174,7 +210,7 @@ double LayerPlan::sparsity() const {
     case ExecMode::kPattern:
       return pattern->sparsity();
     case ExecMode::kIrregular:
-      break;
+      return irregular->sparsity();
   }
   throw CheckError("LayerPlan: unsupported mode");
 }
@@ -185,12 +221,13 @@ PlanCache::PlanCache(ExecMode mode, const std::vector<Linear*>& layers,
                      std::int64_t num_levels, std::int64_t bp_blocks)
     : mode_(mode) {
   check(!layers.empty(), "PlanCache: no layers");
-  check(mode != ExecMode::kIrregular,
-        "PlanCache: no kernel family for irregular COO execution");
   check(backbone_masks.empty() || backbone_masks.size() == layers.size(),
         "PlanCache: one backbone mask per layer (or none)");
   if (mode == ExecMode::kPattern) {
     check(!sets.empty(), "PlanCache: pattern mode needs pattern sets");
+    num_levels = static_cast<std::int64_t>(sets.size());
+  }
+  if (mode == ExecMode::kIrregular && !sets.empty()) {
     num_levels = static_cast<std::int64_t>(sets.size());
   }
   check(num_levels >= 1, "PlanCache: need at least one level");
@@ -226,8 +263,19 @@ PlanCache::PlanCache(ExecMode mode, const std::vector<Linear*>& layers,
               wb, sets[static_cast<std::size_t>(level)]);
           break;
         }
-        case ExecMode::kIrregular:
-          throw CheckError("PlanCache: unreachable mode");
+        case ExecMode::kIrregular: {
+          // With pattern sets: the level's pattern-pruned nonzeros as COO
+          // triples (regular-vs-irregular execution of identical weights).
+          // Without: the backbone-masked weight, identical per level.
+          const Tensor wb = masked_weight_of(*layers[li], mask);
+          plan.irregular = IrregularPlan::build(
+              sets.empty()
+                  ? wb
+                  : PatternPlan::build(
+                        wb, sets[static_cast<std::size_t>(level)])
+                        .to_dense());
+          break;
+        }
       }
       level_plans.push_back(std::move(plan));
     }
@@ -262,6 +310,17 @@ const LayerPlan& PlanCache::plan(std::int64_t layer, std::int64_t level) const {
   check(level >= 0 && level < num_levels(), "PlanCache: level out of range");
   return plans_[static_cast<std::size_t>(level)]
                [static_cast<std::size_t>(layer)];
+}
+
+void PlanCache::set_tuned(std::int64_t layer, std::int64_t level,
+                          const KernelOptions& options) {
+  check(layer >= 0 && layer < num_layers(), "PlanCache: layer out of range");
+  check(level >= 0 && level < num_levels(), "PlanCache: level out of range");
+  check(options.k_tile >= 0 && options.row_grain >= 1 &&
+            options.unroll >= 1 && options.threads >= 0,
+        "PlanCache: bad tuned kernel options");
+  plans_[static_cast<std::size_t>(level)][static_cast<std::size_t>(layer)]
+      .tuned = options;
 }
 
 double PlanCache::level_sparsity(std::int64_t level) const {

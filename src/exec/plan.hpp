@@ -27,6 +27,28 @@
 
 namespace rt3 {
 
+struct TuningRecord;  // exec/tuner.hpp
+
+/// Tunable knobs of one kernel launch.  The defaults are sane everywhere;
+/// the offline autotuner (exec/tuner.hpp) searches this space per
+/// (layer, level) and bakes winners into the PlanCache.
+struct KernelOptions {
+  /// k-tile (rows of X kept hot) for the dense kernel; 0 = auto-size so
+  /// the active X slice fits the per-core L1/L2 budget (exec/simd.hpp).
+  std::int64_t k_tile = 64;
+  /// Minimum output rows per parallel task; below this the kernel runs
+  /// serially on the calling thread.
+  std::int64_t row_grain = 16;
+  /// Independent j-vector accumulator chains in flight per row (1, 2 or
+  /// 4).  More chains hide fma latency; lanes never mix, so the per-lane
+  /// accumulation order — and therefore bitwise output — is unchanged.
+  std::int64_t unroll = 2;
+  /// Worker-thread cap for this launch; 0 = every pool worker.  The
+  /// autotuner uses it to pick a per-(layer, level) parallelism degree
+  /// without resizing the shared pool.
+  std::int64_t threads = 0;
+};
+
 /// One Pattern's kept cells as a CSR over tile rows: row r's kept columns
 /// are cols[row_ptr[r] .. row_ptr[r+1]), ascending.  Values stored against
 /// this structure are laid out in the same traversal order.
@@ -78,6 +100,33 @@ struct PatternPlan {
   double sparsity() const;
 };
 
+/// Element-wise COO execution structure for ExecMode::kIrregular: one
+/// (row, col, value) triple per nonzero, sorted row-major so per-element
+/// contributions still reach each output in ascending-k order.  This is
+/// the paper's Challenge-1 strawman made measurable — same nonzeros as a
+/// regular plan, but every term pays per-element index loads and an
+/// output-row round trip instead of streaming a compiled structure.
+struct IrregularPlan {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int32_t> row_idx;  // per nonzero, row-major sorted
+  std::vector<std::int32_t> col_idx;
+  std::vector<float> values;
+  /// First triple of each matrix row (rows + 1 entries) — used only to
+  /// partition the triple list deterministically across workers.
+  std::vector<std::int64_t> row_start;
+
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+
+  /// Collects every nonzero of an (already masked) weight matrix.
+  static IrregularPlan build(const Tensor& masked_weight);
+
+  Tensor to_dense() const;
+  double sparsity() const;
+};
+
 /// Everything needed to execute one layer in one ExecMode.
 struct LayerPlan {
   ExecMode mode = ExecMode::kDense;
@@ -86,6 +135,10 @@ struct LayerPlan {
   Tensor dense_weight;                     // kDense payload
   std::optional<BlockPrunedMatrix> block;  // kBlock payload
   std::optional<PatternPlan> pattern;      // kPattern payload
+  std::optional<IrregularPlan> irregular;  // kIrregular payload
+  /// Autotuned launch options for THIS (layer, level); absent = use the
+  /// backend-wide defaults.
+  std::optional<KernelOptions> tuned;
 
   /// The dense matrix the kernel multiplies by (for reference checks).
   Tensor dense_equivalent() const;
@@ -99,7 +152,10 @@ class PlanCache {
   /// `backbone_masks` may be empty (dense backbone) or hold one
   /// weight-shaped 0/1 mask per layer.  `sets` holds one PatternSet per
   /// level and is required for kPattern; for other modes it may be empty
-  /// and `num_levels` sizes the (identical) per-level plans.
+  /// and `num_levels` sizes the (identical) per-level plans.  kIrregular
+  /// with sets executes each level's PATTERN nonzeros as COO triples —
+  /// the same pruned weights a kPattern cache would run, so the measured
+  /// gap between the two caches is pure indexing overhead (Challenge 1).
   /// `bp_blocks` is the row-block count for kBlock plans; layers whose row
   /// count is not divisible fall back to a single block.
   PlanCache(ExecMode mode, const std::vector<Linear*>& layers,
@@ -125,6 +181,13 @@ class PlanCache {
 
   /// Host wall ms spent pre-building every plan at construction.
   double build_wall_ms() const { return build_wall_ms_; }
+
+  /// Installs autotuned launch options for one (layer, level).
+  void set_tuned(std::int64_t layer, std::int64_t level,
+                 const KernelOptions& options);
+  /// Applies every entry of a tuning record (exec/tuner.hpp) whose
+  /// (layer, level) exists in this cache; returns how many applied.
+  std::int64_t apply_tuning(const TuningRecord& record);
 
   /// Weight-sparsity of a level's plans (weighted across layers).
   double level_sparsity(std::int64_t level) const;

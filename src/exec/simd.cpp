@@ -1,0 +1,124 @@
+#include "exec/simd.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "common/check.hpp"
+#include "exec/kernels_dispatch.hpp"
+
+namespace rt3 {
+namespace {
+
+SimdIsa detect_once() {
+#if defined(__aarch64__)
+  return SimdIsa::kNeon;
+#elif defined(__x86_64__) || defined(__i386__)
+  // The AVX2 table may be absent when the toolchain could not compile it
+  // (see CMakeLists); only report an ISA we can actually dispatch to.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+      avx2_kernel_table() != nullptr) {
+    return SimdIsa::kAvx2;
+  }
+  return SimdIsa::kScalar;
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+SimdIsa& active_isa_slot() {
+  static SimdIsa active = detect_once();
+  return active;
+}
+
+/// sysconf-probed cache size with a fallback when the kernel does not
+/// expose the level (common in containers).
+std::int64_t probe_cache(int name, std::int64_t fallback) {
+#if defined(__linux__)
+  const long bytes = sysconf(name);
+  if (bytes > 0) {
+    return static_cast<std::int64_t>(bytes);
+  }
+#else
+  (void)name;
+#endif
+  return fallback;
+}
+
+}  // namespace
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kNeon:
+      return "neon";
+    case SimdIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdIsa simd_isa_from_name(const std::string& name) {
+  for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kNeon, SimdIsa::kAvx2}) {
+    if (name == simd_isa_name(isa)) {
+      return isa;
+    }
+  }
+  throw CheckError("unknown SIMD ISA: " + name);
+}
+
+SimdIsa detect_simd_isa() {
+  static const SimdIsa detected = detect_once();
+  return detected;
+}
+
+SimdIsa active_simd_isa() { return active_isa_slot(); }
+
+void set_simd_isa(SimdIsa isa) {
+  check(isa == SimdIsa::kScalar || isa == detect_simd_isa(),
+        std::string("set_simd_isa: host cannot execute ") +
+            simd_isa_name(isa));
+  active_isa_slot() = isa;
+}
+
+std::int64_t simd_isa_width(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return 1;
+    case SimdIsa::kNeon:
+      return 4;
+    case SimdIsa::kAvx2:
+      return 8;
+  }
+  return 1;
+}
+
+std::int64_t cpu_l1d_bytes() {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  static const std::int64_t bytes =
+      probe_cache(_SC_LEVEL1_DCACHE_SIZE, 32 * 1024);
+#else
+  static const std::int64_t bytes = 32 * 1024;
+#endif
+  return bytes;
+}
+
+std::int64_t cpu_l2_bytes() {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  static const std::int64_t bytes =
+      probe_cache(_SC_LEVEL2_CACHE_SIZE, 512 * 1024);
+#else
+  static const std::int64_t bytes = 512 * 1024;
+#endif
+  return bytes;
+}
+
+std::int64_t cpu_cores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<std::int64_t>(n) : 1;
+}
+
+}  // namespace rt3

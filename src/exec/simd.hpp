@@ -1,0 +1,52 @@
+// Runtime SIMD dispatch and per-core cache topology for the kernel engine.
+//
+// The measured kernels vectorize the activation (j) dimension only: every
+// output element still accumulates its k-terms in ascending order through
+// a single fused-multiply-add chain, so a width-W vector kernel computes
+// W independent scalar chains side by side.  Hardware FMA (AVX2 vfmadd /
+// NEON vfma) and std::fma both round once per step, which is what keeps
+// the vector kernels BITWISE equal to the scalar reference lane-wise.
+//
+// Dispatch is resolved at runtime: x86 hosts probe AVX2+FMA via CPUID,
+// aarch64 always has NEON, and everything else (or a forced override, see
+// set_simd_isa) falls back to the portable scalar table.  The AVX2 table
+// lives in a translation unit compiled with -mavx2 -mfma; when the
+// toolchain cannot produce it the table is absent and detection skips it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rt3 {
+
+/// Instruction sets the kernel engine can dispatch to.
+enum class SimdIsa : std::uint8_t {
+  kScalar,  // portable std::fma loops (always available)
+  kNeon,    // aarch64 NEON, width 4
+  kAvx2,    // x86 AVX2 + FMA, width 8
+};
+
+const char* simd_isa_name(SimdIsa isa);
+/// Parses "scalar" / "neon" / "avx2"; throws CheckError otherwise.
+SimdIsa simd_isa_from_name(const std::string& name);
+
+/// Widest ISA this host can actually execute (CPUID-probed once).
+SimdIsa detect_simd_isa();
+
+/// The ISA kernels currently dispatch to.  Defaults to detect_simd_isa();
+/// set_simd_isa() overrides it (tests and the scalar-vs-SIMD bench force
+/// kScalar) and throws CheckError if the host cannot execute `isa`.
+SimdIsa active_simd_isa();
+void set_simd_isa(SimdIsa isa);
+/// Vector width (floats per register) of an ISA.
+std::int64_t simd_isa_width(SimdIsa isa);
+
+/// Per-core data-cache sizes, probed via sysconf on Linux with
+/// conservative mobile-class fallbacks (32 KiB L1d, 512 KiB L2).  These
+/// size the default k-tiles so the hot activation slice stays resident.
+std::int64_t cpu_l1d_bytes();
+std::int64_t cpu_l2_bytes();
+/// Hardware threads available for pinning (>= 1).
+std::int64_t cpu_cores();
+
+}  // namespace rt3

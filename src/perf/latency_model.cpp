@@ -6,6 +6,30 @@
 
 namespace rt3 {
 
+const char* exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kDense:
+      return "dense";
+    case ExecMode::kBlock:
+      return "block";
+    case ExecMode::kPattern:
+      return "pattern";
+    case ExecMode::kIrregular:
+      return "irregular";
+  }
+  return "unknown";
+}
+
+ExecMode exec_mode_from_name(const std::string& name) {
+  for (ExecMode mode : {ExecMode::kDense, ExecMode::kBlock,
+                        ExecMode::kPattern, ExecMode::kIrregular}) {
+    if (name == exec_mode_name(mode)) {
+      return mode;
+    }
+  }
+  throw CheckError("unknown exec mode: " + name);
+}
+
 double exec_mode_overhead(ExecMode mode) {
   // The numbers live in the LatencyModelConfig field defaults (block:
   // near-dense inner loops on kept columns; pattern: compiler-scheduled

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "perf/model_spec.hpp"
 
@@ -20,6 +21,12 @@ enum class ExecMode : std::uint8_t {
   kPattern,    // pattern sets with compiler support (PatDNN-style)
   kIrregular,  // COO-indexed irregular sparsity
 };
+
+/// Stable text name of a mode ("dense" / "block" / "pattern" /
+/// "irregular") — used by the CLI and the tuning-record format.
+const char* exec_mode_name(ExecMode mode);
+/// Parses exec_mode_name output; throws CheckError otherwise.
+ExecMode exec_mode_from_name(const std::string& name);
 
 /// Default cycle-level overhead multipliers per execution mode.  Block
 /// pruning keeps dense inner loops; pattern execution pays a small decode

@@ -1,14 +1,36 @@
 #include "serve/thread_pool.hpp"
 
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/check.hpp"
 
 namespace rt3 {
 
-ThreadPool::ThreadPool(std::int64_t num_threads) {
+ThreadPool::ThreadPool(std::int64_t num_threads, bool pin_to_cores) {
   check(num_threads >= 1, "ThreadPool: need at least one thread");
   workers_.reserve(static_cast<std::size_t>(num_threads));
+  const unsigned cores = std::max(1U, std::thread::hardware_concurrency());
+  pinned_ = pin_to_cores;
   for (std::int64_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    if (pin_to_cores) {
+#if defined(__linux__)
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<unsigned>(i) % cores, &set);
+      if (pthread_setaffinity_np(workers_.back().native_handle(),
+                                 sizeof(set), &set) != 0) {
+        pinned_ = false;  // best-effort: a restricted cgroup may refuse
+      }
+#else
+      pinned_ = false;
+#endif
+    }
   }
 }
 
@@ -45,6 +67,7 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    bool poisoned = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       has_work_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
@@ -54,13 +77,19 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
       ++active_;
+      // After a failure the queue is poison: pop-and-drop the backlog so
+      // wait_idle can rethrow promptly instead of waiting out every
+      // queued task body.
+      poisoned = first_error_ != nullptr;
     }
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (first_error_ == nullptr) {
-        first_error_ = std::current_exception();
+    if (!poisoned) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
       }
     }
     {

@@ -16,8 +16,12 @@ namespace rt3 {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1).
-  explicit ThreadPool(std::int64_t num_threads);
+  /// Spawns `num_threads` workers (>= 1).  With `pin_to_cores`, worker i
+  /// is pinned to hardware core i % hardware_concurrency (Linux,
+  /// best-effort) so kernel workers keep their per-core L1/L2 warm and
+  /// latency samples stop paying migration jitter; elsewhere the flag is
+  /// a no-op and pinned() reports false.
+  explicit ThreadPool(std::int64_t num_threads, bool pin_to_cores = false);
 
   /// Drains outstanding tasks, then joins all workers.
   ~ThreadPool();
@@ -30,12 +34,18 @@ class ThreadPool {
 
   /// Blocks until the task queue is empty AND no worker is mid-task.
   /// A task that threw does not kill its worker: the first captured
-  /// exception is rethrown here instead.
+  /// exception is rethrown here instead.  Once a task has thrown, workers
+  /// drain the remaining queue WITHOUT running task bodies, so the error
+  /// surfaces promptly instead of behind a long backlog; the rethrow
+  /// clears the poison and the pool is reusable.
   void wait_idle();
 
   std::int64_t num_threads() const {
     return static_cast<std::int64_t>(workers_.size());
   }
+
+  /// True when every worker was successfully pinned at construction.
+  bool pinned() const { return pinned_; }
 
  private:
   void worker_loop();
@@ -48,6 +58,7 @@ class ThreadPool {
   std::exception_ptr first_error_;
   std::int64_t active_ = 0;
   bool stopping_ = false;
+  bool pinned_ = false;
 };
 
 }  // namespace rt3

@@ -6,6 +6,8 @@
 // Calibrator fit must recover known parameters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -17,8 +19,11 @@
 #include "exec/backend.hpp"
 #include "exec/calibrator.hpp"
 #include "exec/kernels.hpp"
+#include "exec/kernels_dispatch.hpp"
 #include "exec/measured_backend.hpp"
 #include "exec/plan.hpp"
+#include "exec/simd.hpp"
+#include "exec/tuner.hpp"
 #include "nn/linear.hpp"
 #include "perf/calibration.hpp"
 #include "pruning/model_pruner.hpp"
@@ -52,6 +57,19 @@ KernelOptions tiny_tiles() {
   options.row_grain = 3;
   return options;
 }
+
+/// Forces the portable scalar kernel table for a scope, restoring the
+/// host's detected ISA on exit.
+class ScopedScalarIsa {
+ public:
+  ScopedScalarIsa() : prev_(active_simd_isa()) {
+    set_simd_isa(SimdIsa::kScalar);
+  }
+  ~ScopedScalarIsa() { set_simd_isa(prev_); }
+
+ private:
+  SimdIsa prev_;
+};
 
 TEST(CompiledPattern, MatchesPatternBits) {
   Rng rng(3);
@@ -157,6 +175,129 @@ TEST(Kernels, PatternGemmHandlesNonMultipleOfPsizeEdges) {
   expect_bitwise_equal(pattern_gemm(plan, x, &pool, tiny_tiles()), reference);
 }
 
+TEST(SimdIsa, NamesRoundTripAndTopologyProbesAreSane) {
+  for (SimdIsa isa :
+       {SimdIsa::kScalar, SimdIsa::kNeon, SimdIsa::kAvx2}) {
+    EXPECT_EQ(simd_isa_from_name(simd_isa_name(isa)), isa);
+  }
+  EXPECT_THROW(simd_isa_from_name("avx512"), CheckError);
+  EXPECT_GE(simd_isa_width(detect_simd_isa()), 1);
+  EXPECT_GT(cpu_l1d_bytes(), 0);
+  EXPECT_GT(cpu_l2_bytes(), 0);
+  EXPECT_GE(cpu_cores(), 1);
+  // Forcing scalar is always allowed; the guard restores detection.
+  {
+    ScopedScalarIsa guard;
+    EXPECT_EQ(active_simd_isa(), SimdIsa::kScalar);
+    EXPECT_EQ(kernel_table_for(active_simd_isa()).width, 1);
+  }
+  EXPECT_EQ(active_simd_isa(), detect_simd_isa());
+  for (ExecMode mode : {ExecMode::kDense, ExecMode::kBlock,
+                        ExecMode::kPattern, ExecMode::kIrregular}) {
+    EXPECT_EQ(exec_mode_from_name(exec_mode_name(mode)), mode);
+  }
+  EXPECT_THROW(exec_mode_from_name("banded"), CheckError);
+}
+
+TEST(SimdKernels, RaggedShapesBitwiseMatchScalarAcrossUnrolls) {
+  // n = 45 covers every code path at the widest unroll (8-lane x 4-chain
+  // block, single-vector tail, scalar tail lanes); 19 x 23 weights keep
+  // row partitioning and k-tiling ragged too.  The SIMD table must match
+  // the forced-scalar table AND the naive reference bitwise, lane-wise.
+  Rng rng(51);
+  const Tensor w = Tensor::randn({19, 23}, rng);
+  const Tensor x = Tensor::randn({23, 45}, rng);
+  const Tensor reference = naive_dense_matmul(w, x);
+  ThreadPool pool(3);
+  for (std::int64_t unroll : {1, 2, 4}) {
+    KernelOptions o = tiny_tiles();
+    o.unroll = unroll;
+    {
+      ScopedScalarIsa guard;
+      expect_bitwise_equal(dense_gemm(w, x, &pool, o), reference);
+    }
+    expect_bitwise_equal(dense_gemm(w, x, &pool, o), reference);
+    expect_bitwise_equal(dense_gemm(w, x, nullptr, o), reference);
+  }
+}
+
+TEST(SimdKernels, BlockAndPatternFamiliesMatchScalarOnRaggedShapes) {
+  Rng rng(53);
+  // Block family: 14 rows over 2 blocks, 45 activation columns.
+  Tensor bw = Tensor::randn({14, 10}, rng);
+  for (std::int64_t i = 0; i < bw.numel(); ++i) {
+    if (rng.bernoulli(0.4)) {
+      bw[i] = 0.0F;
+    }
+  }
+  const BlockPrunedMatrix bp = BlockPrunedMatrix::from_dense(bw, 2);
+  const Tensor bx = Tensor::randn({10, 45}, rng);
+  const Tensor bref = naive_dense_matmul(bp.to_dense(), bx);
+  // Pattern family: 10 x 13 with psize 4 (clipped edge tiles).
+  const PatternSet set = random_pattern_set(4, 0.4, 2, rng);
+  const Tensor pw = Tensor::randn({10, 13}, rng);
+  const PatternPlan plan = PatternPlan::build(pw, set);
+  const Tensor px = Tensor::randn({13, 45}, rng);
+  const Tensor pref = naive_dense_matmul(plan.to_dense(), px);
+  ThreadPool pool(2);
+  for (std::int64_t unroll : {1, 2, 4}) {
+    KernelOptions o = tiny_tiles();
+    o.unroll = unroll;
+    {
+      ScopedScalarIsa guard;
+      expect_bitwise_equal(block_gemm(bp, bx, &pool, o), bref);
+      expect_bitwise_equal(pattern_gemm(plan, px, &pool, o), pref);
+    }
+    expect_bitwise_equal(block_gemm(bp, bx, &pool, o), bref);
+    expect_bitwise_equal(pattern_gemm(plan, px, &pool, o), pref);
+  }
+}
+
+TEST(Kernels, CooGemmBitwiseMatchesNaive) {
+  Rng rng(61);
+  Tensor dense = Tensor::randn({14, 11}, rng);
+  for (std::int64_t i = 0; i < dense.numel(); ++i) {
+    if (rng.bernoulli(0.6)) {
+      dense[i] = 0.0F;
+    }
+  }
+  const IrregularPlan plan = IrregularPlan::build(dense);
+  EXPECT_EQ(plan.nnz(), dense.count_nonzero());
+  EXPECT_GT(plan.sparsity(), 0.0);
+  const Tensor x = Tensor::randn({11, 9}, rng);
+  const Tensor reference = naive_dense_matmul(plan.to_dense(), x);
+  ThreadPool pool(3);
+  expect_bitwise_equal(coo_gemm(plan, x, &pool, tiny_tiles()), reference);
+  expect_bitwise_equal(coo_gemm(plan, x, nullptr, tiny_tiles()), reference);
+}
+
+TEST(Kernels, OptionValidationAndKTileAutoSizing) {
+  Rng rng(63);
+  const Tensor w = Tensor::randn({4, 4}, rng);
+  const Tensor x = Tensor::randn({4, 4}, rng);
+  KernelOptions bad = tiny_tiles();
+  bad.unroll = 0;
+  EXPECT_THROW(dense_gemm(w, x, nullptr, bad), CheckError);
+  bad = tiny_tiles();
+  bad.threads = -1;
+  EXPECT_THROW(dense_gemm(w, x, nullptr, bad), CheckError);
+  // k_tile 0 resolves to a cache-sized tile in [16, cols]; explicit
+  // values pass through untouched.
+  KernelOptions auto_kt;
+  auto_kt.k_tile = 0;
+  const std::int64_t kt = resolve_k_tile(auto_kt, 4096, 8);
+  EXPECT_GE(kt, 16);
+  EXPECT_LE(kt, 4096);
+  auto_kt.k_tile = 7;
+  EXPECT_EQ(resolve_k_tile(auto_kt, 4096, 8), 7);
+  // An options.threads cap above/below the pool size never changes bits.
+  ThreadPool pool(3);
+  KernelOptions capped = tiny_tiles();
+  capped.threads = 2;
+  expect_bitwise_equal(dense_gemm(w, x, &pool, capped),
+                       naive_dense_matmul(w, x));
+}
+
 TEST(PatternPlan, AssignmentMatchesModelPrunerComposition) {
   Rng rng(17);
   std::vector<std::unique_ptr<Linear>> owned;
@@ -222,8 +363,8 @@ TEST(PlanCache, SwapIsCheapAndTracksLevels) {
 }
 
 TEST(MeasuredBackend, AllModesBitwiseMatchDenseReference) {
-  for (ExecMode mode :
-       {ExecMode::kDense, ExecMode::kBlock, ExecMode::kPattern}) {
+  for (ExecMode mode : {ExecMode::kDense, ExecMode::kBlock,
+                        ExecMode::kPattern, ExecMode::kIrregular}) {
     Rng rng(23);
     std::vector<std::unique_ptr<Linear>> owned;
     std::vector<Linear*> layers;
@@ -246,10 +387,13 @@ TEST(MeasuredBackend, AllModesBitwiseMatchDenseReference) {
     cfg.mode = mode;
     cfg.threads = 3;
     cfg.kernel = tiny_tiles();
+    // kIrregular also gets the pattern set: its plans hold the SAME
+    // nonzeros as the pattern plans, executed as COO triples.
+    const bool prune_to_set =
+        mode == ExecMode::kPattern || mode == ExecMode::kIrregular;
     MeasuredBackend backend(
         cfg, layers, pruner.backbone_masks(),
-        mode == ExecMode::kPattern ? sets : std::vector<PatternSet>{},
-        {1400.0});
+        prune_to_set ? sets : std::vector<PatternSet>{}, {1400.0});
     backend.activate_level(0);
     for (std::int64_t li = 0; li < 2; ++li) {
       const Tensor x = Tensor::randn(
@@ -378,11 +522,12 @@ TEST(Calibrator, FitsMeasuredKernelsHonestly) {
   const CalibrationResult result =
       calibrator.run(base, layers, pruner.backbone_masks(), sets);
 
-  EXPECT_EQ(result.observations.size(), 9U);  // 3 modes x 3 batch sizes
+  EXPECT_EQ(result.observations.size(), 12U);  // 4 modes x 3 batch sizes
   EXPECT_GT(result.fitted.macs_per_cycle, 0.0);
   EXPECT_GE(result.fitted.fixed_cycles, 0.0);
   EXPECT_GT(result.fitted.block_overhead, 0.0);
   EXPECT_GT(result.fitted.pattern_overhead, 0.0);
+  EXPECT_GT(result.fitted.irregular_overhead, 0.0);
   EXPECT_TRUE(std::isfinite(result.mean_abs_rel_error));
   // Host timing is noisy (CI runners share cores), but the fitted model
   // must stay in the ballpark of its own observations.
@@ -465,6 +610,133 @@ TEST(ReconfigEngine, PlanSwapHookRunsInsideSwitchAndIsReported) {
   const SwitchReport unhooked = engine.switch_to(2);
   EXPECT_DOUBLE_EQ(unhooked.plan_swap_wall_ms, 0.0);
   EXPECT_EQ(cache.active_level(), 1);  // cleared hook no longer swaps
+}
+
+TEST(MeasuredBackend, RejectsNonPositiveThreads) {
+  Rng rng(67);
+  std::vector<std::unique_ptr<Linear>> owned;
+  std::vector<Linear*> layers;
+  owned.push_back(std::make_unique<Linear>(8, 8, rng));
+  layers.push_back(owned.back().get());
+  MeasuredBackendConfig cfg;
+  cfg.mode = ExecMode::kDense;
+  for (std::int64_t threads : {std::int64_t{0}, std::int64_t{-3}}) {
+    cfg.threads = threads;
+    EXPECT_THROW(MeasuredBackend(cfg, layers, {}, {}, {1000.0}),
+                 CheckError);
+  }
+}
+
+TEST(ThreadPool, PinnedPoolMatchesFloatingBitwiseWithBoundedJitter) {
+  ThreadPool floating(2);
+  EXPECT_FALSE(floating.pinned());  // not requested
+  ThreadPool pinned(2, /*pin_to_cores=*/true);
+#if defined(__linux__)
+  EXPECT_TRUE(pinned.pinned());
+#endif
+  Rng rng(71);
+  const Tensor w = Tensor::randn({32, 32}, rng);
+  const Tensor x = Tensor::randn({32, 16}, rng);
+  const Tensor reference = naive_dense_matmul(w, x);
+  // Pinning changes where work runs, never what it computes.
+  expect_bitwise_equal(dense_gemm(w, x, &pinned, tiny_tiles()), reference);
+  expect_bitwise_equal(dense_gemm(w, x, &floating, tiny_tiles()), reference);
+  // Loose jitter sanity on the pinned pool: across repeats the p90 stays
+  // within a very generous multiple of the median.  The bound tolerates
+  // 1-core CI runners and sanitizer slowdowns; it exists to catch a
+  // pinning implementation that serializes or livelocks workers, not to
+  // benchmark.
+  std::vector<double> walls;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tensor out = dense_gemm(w, x, &pinned, tiny_tiles());
+    walls.push_back(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count() +
+                    static_cast<double>(out[0] != out[0]));  // keep out live
+  }
+  std::sort(walls.begin(), walls.end());
+  const double median = std::max(walls[walls.size() / 2], 1e-6);
+  const double p90 = walls[(walls.size() * 9) / 10];
+  EXPECT_LT(p90, median * 200.0);
+}
+
+TEST(Autotuner, BitDeterministicForFixedSeedWithInjectedCost) {
+  // Injected deterministic cost: a smooth bowl over the knob space whose
+  // location depends on (layer, level).  With it, the whole search —
+  // seeded sampling, least-squares fit, finalist re-measures, tie-breaks
+  // — must reproduce byte-identical records for the same seed.
+  const Autotuner::CostFn cost = [](std::int64_t layer, std::int64_t level,
+                                    const KernelOptions& o) {
+    const double kt =
+        std::log2(static_cast<double>(o.k_tile == 0 ? 64 : o.k_tile));
+    const double t =
+        static_cast<double>(o.threads == 0 ? 4 : o.threads);
+    return 1.0 + 0.05 * static_cast<double>(layer + level) +
+           std::abs(kt - 5.0) +
+           0.3 * std::abs(static_cast<double>(o.unroll) - 2.0) +
+           0.2 * std::abs(t - 2.0);
+  };
+  TunerConfig cfg;
+  cfg.samples = 12;
+  cfg.finalists = 3;
+  cfg.repeats = 2;
+  cfg.seed = 77;
+  Autotuner a(cfg, ExecMode::kPattern, 2, 3, cost);
+  Autotuner b(cfg, ExecMode::kPattern, 2, 3, cost);
+  const TuningRecord ra = a.tune();
+  const TuningRecord rb = b.tune();
+  EXPECT_EQ(ra.serialize(), rb.serialize());
+  ASSERT_EQ(ra.entries.size(), 6U);  // 2 layers x 3 levels
+  for (const TuningEntry& e : ra.entries) {
+    // The winner's recorded cost is its injected cost (median of a
+    // deterministic function is the function).
+    EXPECT_DOUBLE_EQ(e.measured_ms, cost(e.layer, e.level, e.options));
+  }
+  // Text round-trip is bit-exact, so re-serialization is byte-identical.
+  EXPECT_EQ(TuningRecord::parse(ra.serialize()).serialize(),
+            ra.serialize());
+  EXPECT_THROW(TuningRecord::parse("not a tuning file"), CheckError);
+}
+
+TEST(PlanCache, ApplyTuningInstallsPerPlanOptions) {
+  Rng rng(73);
+  std::vector<std::unique_ptr<Linear>> owned;
+  std::vector<Linear*> layers;
+  owned.push_back(std::make_unique<Linear>(16, 16, rng));
+  layers.push_back(owned.back().get());
+  std::vector<PatternSet> sets;
+  sets.push_back(random_pattern_set(4, 0.25, 2, rng));
+  sets.push_back(random_pattern_set(4, 0.5, 2, rng));
+  PlanCache cache(ExecMode::kPattern, layers, {}, sets, 2, 4);
+  ASSERT_FALSE(cache.plan(0, 0).tuned.has_value());
+
+  TuningRecord record;
+  record.mode = ExecMode::kPattern;
+  TuningEntry e;
+  e.layer = 0;
+  e.level = 1;
+  e.options.k_tile = 32;
+  e.options.unroll = 4;
+  e.options.threads = 2;
+  record.entries.push_back(e);
+  TuningEntry oob = e;  // out-of-range entries are skipped, not fatal
+  oob.layer = 9;
+  record.entries.push_back(oob);
+  EXPECT_EQ(cache.apply_tuning(record), 1);
+  ASSERT_TRUE(cache.plan(0, 1).tuned.has_value());
+  EXPECT_EQ(cache.plan(0, 1).tuned->k_tile, 32);
+  EXPECT_EQ(cache.plan(0, 1).tuned->unroll, 4);
+  EXPECT_EQ(cache.plan(0, 1).tuned->threads, 2);
+  EXPECT_FALSE(cache.plan(0, 0).tuned.has_value());
+
+  // A record for another kernel family is a mix-up, not data.
+  record.mode = ExecMode::kDense;
+  EXPECT_THROW(cache.apply_tuning(record), CheckError);
+  // Invalid options are rejected by set_tuned's validation.
+  KernelOptions bad;
+  bad.unroll = 0;
+  EXPECT_THROW(cache.set_tuned(0, 0, bad), CheckError);
 }
 
 TEST(ExecBackendNames, RoundTrip) {

@@ -120,11 +120,52 @@ TEST(ThreadPool, TaskExceptionIsRethrownFromWaitIdle) {
   ThreadPool pool(2);
   pool.submit([] { throw CheckError("boom"); });
   for (int i = 0; i < 10; ++i) {
-    pool.submit([] {});  // later tasks still run; worker survives the throw
+    pool.submit([] {});  // queued behind the throw; drained, not run
   }
   EXPECT_THROW(pool.wait_idle(), CheckError);
   pool.submit([] {});
   pool.wait_idle();  // error was consumed; pool is reusable
+}
+
+TEST(ThreadPool, PoisonedQueueDrainsWithoutRunningTaskBodies) {
+  // Regression: after a task throws, the backlog must be popped-and-
+  // dropped so wait_idle rethrows promptly — not executed task by task.
+  // One worker guarantees strict queue order, so every counter task sits
+  // behind the throwing task and none may run.
+  ThreadPool pool(1);
+  std::atomic<std::int64_t> ran{0};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) {
+      std::this_thread::yield();  // hold the worker so the queue builds up
+    }
+    throw CheckError("poison");
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  release.store(true);
+  EXPECT_THROW(pool.wait_idle(), CheckError);
+  EXPECT_EQ(ran.load(), 0);
+  // The rethrow cleared the poison: new work runs again.
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, PinFlagIsBestEffortAndHarmless) {
+  ThreadPool unpinned(2);
+  EXPECT_FALSE(unpinned.pinned());
+  ThreadPool pinned(2, /*pin_to_cores=*/true);
+#if defined(__linux__)
+  EXPECT_TRUE(pinned.pinned());
+#endif
+  std::atomic<std::int64_t> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pinned.submit([&] { counter.fetch_add(1); });
+  }
+  pinned.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
 }
 
 TEST(ServeSession, HardwareOnlySessionHasNoEngine) {

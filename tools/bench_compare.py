@@ -12,9 +12,18 @@ interactive misses by design):
     node_scenarios  -> {scenario  x models}  multi-model ServeNode cells
     overload        -> {burst     x admission}  edf-shed vs edf-admit
 
+With --exec the inputs are BENCH_exec files instead and the gate is the
+kernel_speedup grid: for every family in the baseline, the candidate's
+SIMD-vs-forced-scalar speedup ratio must be >= the baseline's
+min_speedup floor.  Only the dimensionless ratio is gated — absolute
+milliseconds differ across machines and are informational.  A candidate
+that detected no SIMD ISA (isa == "scalar") passes with a warning, since
+a 1.0x ratio there measures the host, not a regression.
+
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json
         [--miss-tolerance 0.02] [--p99-tolerance 0.10]
+    bench_compare.py --exec BASELINE_exec.json CANDIDATE_exec.json
 
 --miss-tolerance is absolute (rate points): candidate miss_rate may
 exceed baseline by at most this much.  --p99-tolerance is relative:
@@ -86,6 +95,82 @@ def load_cells(path):
     return cells
 
 
+def load_exec_families(path, want_floor):
+    """Returns (isa, {family: cell}) from a BENCH_exec kernel_speedup grid.
+
+    Baselines (want_floor=True) must carry min_speedup per family;
+    candidates must carry the measured speedup.  As with serve cells,
+    every format problem in the file is reported in one pass.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    errors = []
+    grid = doc.get("kernel_speedup")
+    if not isinstance(grid, dict):
+        print(f"bench_compare: {path} has no 'kernel_speedup' object",
+              file=sys.stderr)
+        sys.exit(2)
+    families = grid.get("families")
+    if not isinstance(families, dict) or not families:
+        print(f"bench_compare: {path} has no kernel_speedup families",
+              file=sys.stderr)
+        sys.exit(2)
+    key = "min_speedup" if want_floor else "speedup"
+    cells = {}
+    for family, cell in families.items():
+        try:
+            cells[family] = float(cell[key])
+        except (KeyError, TypeError, ValueError) as e:
+            errors.append(f"bad family '{family}' in {path} "
+                          f"(need numeric '{key}'): {e!r}")
+    if errors:
+        for e in errors:
+            print(f"bench_compare: {e}", file=sys.stderr)
+        sys.exit(2)
+    return str(grid.get("isa", "?")), cells
+
+
+def compare_exec(baseline_path, candidate_path):
+    """Gates candidate kernel-family speedups against baseline floors."""
+    _, floors = load_exec_families(baseline_path, want_floor=True)
+    isa, speedups = load_exec_families(candidate_path, want_floor=False)
+
+    missing = sorted(set(floors) - set(speedups))
+    for family in missing:
+        print(f"  [missing] {family:10s} in baseline but not candidate",
+              file=sys.stderr)
+    for family in sorted(set(speedups) - set(floors)):
+        print(f"  [extra]   {family:10s} in candidate but not baseline "
+              f"(not gated)")
+    if missing:
+        print(f"\nbench_compare: candidate is missing {len(missing)} "
+              f"baseline kernel famil(ies)", file=sys.stderr)
+        sys.exit(2)
+
+    if isa == "scalar":
+        print("bench_compare: candidate detected no SIMD ISA "
+              "(isa == 'scalar'); speedup floors not applicable — skipped")
+        return
+
+    failures = 0
+    for family in sorted(floors):
+        floor, got = floors[family], speedups[family]
+        status = "ok" if got >= floor else "FAIL"
+        print(f"  [{status}] {family:10s} speedup {got:6.2f}x "
+              f"(floor {floor:.2f}x, isa {isa})")
+        failures += status == "FAIL"
+    if failures:
+        print(f"\nbench_compare: {failures} kernel famil(ies) below the "
+              f"speedup floor", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_compare: all {len(floors)} kernel families at or "
+          f"above their speedup floors")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -94,7 +179,14 @@ def main():
                         help="absolute miss-rate headroom (default 0.02)")
     parser.add_argument("--p99-tolerance", type=float, default=0.10,
                         help="relative p99 headroom (default 0.10)")
+    parser.add_argument("--exec", dest="exec_mode", action="store_true",
+                        help="gate BENCH_exec kernel_speedup floors "
+                             "instead of serve cells")
     args = parser.parse_args()
+
+    if args.exec_mode:
+        compare_exec(args.baseline, args.candidate)
+        return
 
     base = load_cells(args.baseline)
     cand = load_cells(args.candidate)

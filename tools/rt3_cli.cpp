@@ -33,7 +33,9 @@
 //                            step-down threshold inside which batches
 //                            shrink to --governor-batch      (0 = off)
 //         --governor-batch N batch cap inside the margin     (1)
-//         --threads N        measured-backend kernel threads (2)
+//         --threads N        measured-backend kernel threads (2; >= 1)
+//         --tuning FILE      apply an `rt3 tune` record to the measured
+//                            backend's plan cache before serving
 //         --shed             drop requests whose deadline is
 //                            already blown (load shedding)
 //         --admit            feasibility-based admission: reject requests
@@ -68,6 +70,20 @@
 //       requests routed by model id with optional feasibility admission.
 //       Takes every `rt3 serve` flag (applied per model) plus:
 //         --models N         resident models on the node     (3)
+//   rt3 tune [--out FILE] ...                         offline kernel
+//       autotuner: searches (k_tile, unroll, threads) per (layer, level)
+//       of the measured backend's plan cache — seeded random sample,
+//       fitted latency model, re-measured finalists — and writes the
+//       winners as a tuning record for `rt3 serve --tuning`.  Flags:
+//         --out FILE         tuning record destination  (rt3_tuning.txt)
+//         --load FILE        skip the search: load FILE, apply it, and
+//                            re-serialize to --out (format round-trip)
+//         --samples N        grid points measured for the model fit (24)
+//         --finalists N      top predicted configs re-measured      (4)
+//         --repeats N        measurements per candidate, median     (3)
+//         --tune-batch N     batch size tuned at                    (1)
+//         --tune-seed S      candidate-sampling seed                (42)
+//       plus the `rt3 serve` session flags (--t, --threads, ...).
 //   rt3 report [ARGS...]                              render a session
 //       report (series + SLO breaches + miss attribution) via
 //       tools/report.py; see `rt3 report --help`
@@ -83,6 +99,8 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "exec/backend.hpp"
+#include "exec/simd.hpp"
+#include "exec/tuner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
@@ -314,6 +332,7 @@ ServeSessionConfig parse_session_config(const std::vector<std::string>& args) {
   scfg.governor_margin = arg_double(args, "--governor-margin", 0.0);
   scfg.governor_shrink_batch = arg_int(args, "--governor-batch", 1);
   scfg.measured_threads = arg_int(args, "--threads", 2);
+  check(scfg.measured_threads >= 1, "--threads must be >= 1");
   scfg.shed_expired = arg_present(args, "--shed");
   scfg.admit_feasible = arg_present(args, "--admit");
   return scfg;
@@ -339,10 +358,21 @@ int cmd_serve(const std::vector<std::string>& args) {
   ServeSessionConfig scfg = parse_session_config(args);
   TrafficConfig tcfg = parse_traffic_config(args);
   const std::int64_t producers = arg_int(args, "--producers", 2);
+  const std::string tuning_path = arg_string(args, "--tuning", "");
   const ObsFlags obs_flags = parse_obs_flags(args);
 
   const std::vector<Request> schedule = generate_traffic(tcfg);
   ServeSession session(scfg);
+  if (!tuning_path.empty()) {
+    check(session.has_measured_backend(),
+          "--tuning requires --backend measured");
+    const TuningRecord record = TuningRecord::load(tuning_path);
+    const std::int64_t applied =
+        session.measured_backend().apply_tuning(record);
+    std::cout << "tuning: applied " << applied << "/"
+              << record.entries.size() << " entries from " << tuning_path
+              << " (tuned under " << record.isa << ")\n";
+  }
   // Wall stamps are fine here: the CLI is for humans, not byte-compare
   // tests (which construct their own recorder with record_wall off).
   TraceRecorder trace(
@@ -499,6 +529,64 @@ int cmd_node(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Offline kernel autotuning over the canonical serve session's measured
+/// backend: search winners are written as a TuningRecord text file that
+/// `rt3 serve --tuning` bakes back into the plan cache.  With --load the
+/// search is skipped and an existing record is applied + re-serialized,
+/// which doubles as the format round-trip check in CI.
+int cmd_tune(const std::vector<std::string>& args) {
+  ServeSessionConfig scfg = parse_session_config(args);
+  scfg.backend = ExecBackendKind::kMeasured;
+  const std::string out = arg_string(args, "--out", "rt3_tuning.txt");
+  const std::string load = arg_string(args, "--load", "");
+
+  ServeSession session(scfg);
+  MeasuredBackend& backend = session.measured_backend();
+
+  if (!load.empty()) {
+    const TuningRecord record = TuningRecord::load(load);
+    const std::int64_t applied = backend.apply_tuning(record);
+    record.save(out);
+    std::cout << "loaded " << load << ": " << record.entries.size()
+              << " entries (" << exec_mode_name(record.mode) << ", tuned "
+              << "under " << record.isa << "), " << applied
+              << " applied, re-serialized -> " << out << "\n";
+    return 0;
+  }
+
+  TunerConfig tcfg;
+  tcfg.samples = arg_int(args, "--samples", 24);
+  tcfg.finalists = arg_int(args, "--finalists", 4);
+  tcfg.repeats = arg_int(args, "--repeats", 3);
+  tcfg.batch = arg_int(args, "--tune-batch", 1);
+  tcfg.seed = static_cast<std::uint64_t>(arg_int(args, "--tune-seed", 42));
+  const PlanCache& plans = backend.plans();
+  std::cout << "tuning " << plans.num_layers() << " layers x "
+            << plans.num_levels() << " levels ("
+            << exec_mode_name(plans.mode()) << " kernels, "
+            << simd_isa_name(active_simd_isa()) << " ISA): " << tcfg.samples
+            << " samples + " << tcfg.finalists << " finalists per cell, "
+            << "median of " << tcfg.repeats << "\n\n";
+  Autotuner tuner(tcfg, backend);
+  const TuningRecord record = tuner.tune();
+  record.save(out);
+
+  TablePrinter t({"layer", "level", "k_tile", "unroll", "threads",
+                  "predicted (ms)", "measured (ms)"});
+  for (const TuningEntry& e : record.entries) {
+    t.add_row({std::to_string(e.layer), std::to_string(e.level),
+               e.options.k_tile == 0 ? "auto"
+                                     : std::to_string(e.options.k_tile),
+               std::to_string(e.options.unroll),
+               e.options.threads == 0 ? "all"
+                                      : std::to_string(e.options.threads),
+               fmt_f(e.predicted_ms, 4), fmt_f(e.measured_ms, 4)});
+  }
+  std::cout << t.str() << "\nwrote " << record.entries.size()
+            << " entries -> " << out << "\n";
+  return 0;
+}
+
 /// Thin wrapper shelling out to tools/report.py: renders a session's
 /// telemetry series + SLO breaches + miss attribution into a terminal
 /// summary and/or a self-contained HTML report.
@@ -553,6 +641,10 @@ int usage() {
       "  node     [--models N] + every serve flag       multi-model node:\n"
       "                                 N models, ONE battery/governor,\n"
       "                                 model-id routing + admission\n"
+      "  tune     [--out FILE] [--load FILE] [--samples N] [--finalists N]\n"
+      "           [--repeats N] [--tune-batch N] [--tune-seed S] + session\n"
+      "           flags                                 autotune kernels and\n"
+      "                                 write a tuning record for --tuning\n"
       "  report   [--trace F] [--telemetry F] [--metrics F] [--out F.html]\n"
       "                                                 render a session report\n"
       "  levels                                         print the V/F ladder\n";
@@ -590,6 +682,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "node") {
       return cmd_node(args);
+    }
+    if (cmd == "tune") {
+      return cmd_tune(args);
     }
     if (cmd == "report") {
       return cmd_report(args);
