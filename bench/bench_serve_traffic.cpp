@@ -7,9 +7,16 @@
 //   3. burst overload: edf+shedding vs edf+shedding+feasibility admission
 //      — admission rejects requests no immediate solo launch could serve,
 //      so the SERVED miss rate drops below shedding alone.
+//   4. discharge x governor (ladder, adaptive, rl) — the GovernorPolicy
+//      seam: identical traffic under the static threshold ladder, the
+//      self-sizing-margin controller, and the learned RL governor (trained
+//      in-bench from fixed seeds, so the cells stay bit-deterministic).
+//      The lowbatt row shrinks the battery so surviving the session
+//      actually requires stepping down.
 //
 // Emits a human table on stdout and machine-readable BENCH_serve.json
-// ({scenarios|node_scenarios|overload -> {row -> {col -> stats}}}) so
+// ({scenarios|node_scenarios|overload|governor_scenarios ->
+// {row -> {col -> stats}}}) so
 // later PRs have a perf trajectory to compare against — and so
 // tools/bench_compare.py can gate CI on deadline-miss-rate / p99
 // regressions vs bench/baselines/ across all three grids.
@@ -36,6 +43,7 @@
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "rl/governor.hpp"
 #include "serve/node.hpp"
 #include "serve/policy.hpp"
 #include "serve/server.hpp"
@@ -202,6 +210,85 @@ Cell run_overload_cell(bool admit, std::int64_t repeats, std::uint64_t seed) {
   return cell;
 }
 
+/// One governor-grid discharge: the bench traffic under a GovernorPolicy
+/// family.  `rl_policy` is the in-bench-trained instance (shared across
+/// cells; serve() clears its episode state, greedy decisions only) and is
+/// ignored for the other kinds.
+Cell run_governor_cell(TrafficScenario scenario, double capacity_mj,
+                       GovernorKind kind,
+                       const std::shared_ptr<GovernorPolicy>& rl_policy,
+                       std::int64_t repeats, std::uint64_t seed) {
+  Cell cell;
+  for (std::int64_t rep = 0; rep < repeats; ++rep) {
+    ServeSessionConfig scfg;  // defaults except battery + governor
+    scfg.battery_capacity_mj = capacity_mj;
+    scfg.governor = kind;
+    if (kind == GovernorKind::kRl) {
+      scfg.governor_policy = rl_policy;
+    }
+    TrafficConfig tcfg =
+        base_traffic(scenario, seed + static_cast<std::uint64_t>(rep));
+    const std::vector<Request> schedule = generate_traffic(tcfg);
+    ServeSession session(scfg);
+    const ServerStats stats = serve_concurrent(session.server(), schedule, 2);
+    check_miss_attribution(stats);
+    if (rep == 0) {
+      cell.capture_first(stats);
+    }
+    cell.mean_miss_rate += stats.miss_rate();
+    cell.mean_p99_ms += stats.latency_percentile(99.0);
+    cell.mean_switch_lag_p99_ms += stats.switch_lag_percentile(99.0);
+  }
+  const double r = static_cast<double>(repeats);
+  cell.mean_miss_rate /= r;
+  cell.mean_p99_ms /= r;
+  cell.mean_switch_lag_p99_ms /= r;
+  return cell;
+}
+
+/// Trains the RL governor for the governor grid, in-bench, from seeds
+/// derived only from the bench seed — the trained weights (and therefore
+/// every rl cell) are bit-deterministic per seed.  Episodes round-robin
+/// the three scenarios over the SAME traffic shape the grid serves, half
+/// at the grid's full battery and half at the lowbatt capacity so the
+/// policy sees discharges where stepping down is the only way to survive.
+std::shared_ptr<RlGovernorPolicy> train_bench_governor(
+    std::uint64_t seed, double capacity_mj, double lowbatt_capacity_mj) {
+  GovernorTrainConfig tcfg;
+  tcfg.episodes = 12;
+  tcfg.traffic = base_traffic(TrafficScenario::kSteady, seed);
+  tcfg.traffic_seed = seed;
+  tcfg.sample_seed = seed + 1234;
+  tcfg.reward.reference_lifetime_ms = tcfg.traffic.duration_ms;
+  tcfg.session.battery_capacity_mj = capacity_mj;
+  const GovernorTrainResult full = train_governor(tcfg);
+  // Continue training the SAME weights on the scarce-battery regime
+  // (train_governor always builds a fresh policy, so this second phase
+  // drives the policy's training API directly).
+  Rng sample_rng(seed + 4321);
+  ServeSessionConfig scfg = tcfg.session;
+  scfg.battery_capacity_mj = lowbatt_capacity_mj;
+  scfg.governor = GovernorKind::kRl;
+  scfg.governor_policy = full.policy;
+  ServeSession session(scfg);
+  for (std::int64_t e = 0; e < tcfg.episodes; ++e) {
+    TrafficConfig traffic = tcfg.traffic;
+    traffic.scenario = tcfg.scenarios[static_cast<std::size_t>(e) %
+                                      tcfg.scenarios.size()];
+    traffic.seed = seed + 100 + static_cast<std::uint64_t>(e);
+    const std::vector<Request> schedule = generate_traffic(traffic);
+    full.policy->set_sample_rng(&sample_rng);
+    const ServerStats stats = session.server().serve(schedule);
+    const double reward = governor_reward(tcfg.reward, stats);
+    if (full.policy->decisions_this_episode() > 0) {
+      full.policy->update(reward);
+    }
+  }
+  full.policy->set_sample_rng(nullptr);
+  full.policy->reset();
+  return full.policy;
+}
+
 /// The obs-layer overhead contract, proven per bench run: a traced session
 /// over the identical schedule must leave every serving stat
 /// BYTE-IDENTICAL (tracing is pure observation), and the wall-time cost of
@@ -316,7 +403,10 @@ int main(int argc, char** argv) {
             << "3 priority classes + governor-aware\nbatching (margin 5%); "
             << "mN rows run N models behind ONE battery;\noverload rows "
             << "run burst at 2x rate with edf + shedding,\nwith and "
-            << "without feasibility admission.\n\n";
+            << "without feasibility admission; governor rows serve\n"
+            << "identical traffic under ladder vs adaptive vs rl (trained\n"
+            << "in-bench, fixed seeds; lowbatt = burst on a 7 kmJ battery)."
+            << "\n\n";
 
   const std::vector<TrafficScenario> scenarios = {TrafficScenario::kSteady,
                                                   TrafficScenario::kBurst,
@@ -387,7 +477,46 @@ int main(int argc, char** argv) {
             "\": " + cell.to_json();
     first_cell = false;
   }
-  json += "\n    }\n  },\n";
+  json += "\n    }\n  },\n  \"governor_scenarios\": {\n";
+
+  // Grid 4: discharge x governor family over the GovernorPolicy seam.
+  // The rl column serves the in-bench-trained policy greedily; lowbatt
+  // shrinks the battery so finishing the session requires stepping down.
+  constexpr double kLowbattCapacityMj = 7'000.0;
+  const std::shared_ptr<RlGovernorPolicy> rl_policy =
+      train_bench_governor(seed, 12'000.0, kLowbattCapacityMj);
+  struct GovernorRow {
+    const char* label;
+    TrafficScenario scenario;
+    double capacity_mj;
+  };
+  const std::vector<GovernorRow> governor_rows = {
+      {"steady", TrafficScenario::kSteady, 12'000.0},
+      {"burst", TrafficScenario::kBurst, 12'000.0},
+      {"diurnal", TrafficScenario::kDiurnal, 12'000.0},
+      {"lowbatt", TrafficScenario::kBurst, kLowbattCapacityMj},
+  };
+  bool first_row = true;
+  for (const GovernorRow& row : governor_rows) {
+    json += std::string(first_row ? "" : ",\n") + "    \"" + row.label +
+            "\": {\n";
+    first_row = false;
+    bool first_gov = true;
+    for (const GovernorKind kind :
+         {GovernorKind::kLadder, GovernorKind::kAdaptive, GovernorKind::kRl}) {
+      const Cell cell = run_governor_cell(row.scenario, row.capacity_mj,
+                                          kind, rl_policy, repeats, seed);
+      t.add_row({"governor", row.label, governor_kind_name(kind),
+                 cell.requests, cell.served, cell.batches, cell.thrpt,
+                 fmt_f(cell.mean_p99_ms, 1), fmt_pct(cell.mean_miss_rate),
+                 cell.misses_qse, cell.switches});
+      json += std::string(first_gov ? "" : ",\n") + "      \"" +
+              governor_kind_name(kind) + "\": " + cell.to_json();
+      first_gov = false;
+    }
+    json += "\n    }";
+  }
+  json += "\n  },\n";
 
   // Observability cell: trace + telemetry + SLO must be pure observation
   // (byte-identical stats; the checks inside abort otherwise) and the

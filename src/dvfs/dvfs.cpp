@@ -1,6 +1,7 @@
 #include "dvfs/dvfs.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -76,13 +77,21 @@ Governor::Governor(std::vector<std::int64_t> levels,
     : levels_(std::move(levels)), thresholds_(std::move(thresholds)) {
   check(!levels_.empty(), "Governor: no levels");
   check(thresholds_.size() + 1 == levels_.size(),
-        "Governor: need levels-1 thresholds");
+        "Governor: " + std::to_string(levels_.size()) + " levels need " +
+            std::to_string(levels_.size() - 1) + " thresholds, got " +
+            std::to_string(thresholds_.size()));
   for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    // NaN fails both comparisons, so a NaN threshold is rejected here too.
     check(thresholds_[i] > 0.0 && thresholds_[i] < 1.0,
-          "Governor: thresholds must be in (0,1)");
+          "Governor: threshold[" + std::to_string(i) + "] = " +
+              std::to_string(thresholds_[i]) + " out of (0, 1)");
     if (i > 0) {
       check(thresholds_[i] < thresholds_[i - 1],
-            "Governor: thresholds must descend");
+            "Governor: thresholds must be strictly descending, but "
+            "threshold[" +
+                std::to_string(i - 1) + "] = " +
+                std::to_string(thresholds_[i - 1]) + " <= threshold[" +
+                std::to_string(i) + "] = " + std::to_string(thresholds_[i]));
     }
   }
 }

@@ -63,7 +63,7 @@ ModelDeployment& ModelDeployment::backend(
 }
 
 std::unique_ptr<Server> ModelDeployment::build(const VfTable& table,
-                                               const Governor& governor,
+                                               const GovernorHandle& governor,
                                                const PowerModel& power) && {
   check(!sparsities_.empty(),
         "ModelDeployment: sparsities(...) required (one per governor level)");
@@ -134,7 +134,7 @@ Router::Decision Router::route(const Request& r, double now_ms,
   return decision;
 }
 
-ServeNode::ServeNode(NodeConfig config, VfTable table, Governor governor,
+ServeNode::ServeNode(NodeConfig config, VfTable table, GovernorHandle governor,
                      PowerModel power)
     : config_(config),
       table_(std::move(table)),
@@ -142,7 +142,7 @@ ServeNode::ServeNode(NodeConfig config, VfTable table, Governor governor,
       power_(power),
       battery_(config.battery_capacity_mj),
       router_(registry_) {
-  for (const std::int64_t li : governor_.levels()) {
+  for (const std::int64_t li : governor_.ladder().levels()) {
     check(li >= 0 && li < table_.size(),
           "ServeNode: governor level not in table");
   }
@@ -164,6 +164,9 @@ Server& ServeNode::model(std::int64_t model_id) {
 
 NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
   check(registry_.size() >= 1, "ServeNode: no models registered");
+  GovernorPolicy& gov = governor_.policy();
+  const Governor& ladder = governor_.ladder();
+  gov.reset();  // fresh episode: EWMAs / recurrent state, never weights
 
   /// One model's in-flight serving state inside the node loop.
   struct Shard {
@@ -185,7 +188,7 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     Shard& sh = shards.back();
     sh.stats.backend = server->backend().name();
     sh.stats.policy = scheduling_policy_name(server->config().scheduler.policy);
-    sh.stats.runs_per_level.assign(governor_.levels().size(), 0.0);
+    sh.stats.runs_per_level.assign(ladder.levels().size(), 0.0);
   }
   const auto shard_of = [&](const Server* server) -> Shard& {
     for (Shard& sh : shards) {
@@ -246,11 +249,28 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     return pending;
   };
 
+  // Node-wide deadline pressure: the most urgent shard's consumed share
+  // of its max-wait budget (shard order is deterministic).
+  const auto max_pressure = [&](double at_ms) {
+    double pressure = 0.0;
+    for (const Shard& sh : shards) {
+      pressure = std::max(
+          pressure, deadline_pressure(at_ms, sh.batcher.release_at_ms(),
+                                      sh.batcher.policy().max_wait_ms));
+    }
+    return pressure;
+  };
+
   while (next < n || total_pending() > 0) {
     if (battery_.empty()) {
       break;
     }
-    const std::int64_t pos = governor_.level_position(battery_.fraction());
+    GovernorObservation gobs;
+    gobs.now_ms = now;
+    gobs.battery_fraction = battery_.fraction();
+    gobs.queue_depth = total_pending();
+    gobs.deadline_pressure = max_pressure(now);
+    const std::int64_t pos = gov.decide(gobs);
     if (pos != active) {
       // Shared-governor switch: the battery crossing is one node-level
       // event, and EVERY resident model switches at this batch boundary —
@@ -325,11 +345,12 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     // margin/cap) against the one shared battery.
     for (Shard& sh : shards) {
       const ServerConfig& cfg = sh.server->config();
-      if (cfg.governor_margin > 0.0) {
+      const double margin = gov.shrink_margin(cfg.governor_margin);
+      if (margin > 0.0) {
         const double fraction = battery_.fraction();
-        const double threshold = governor_.next_step_down(fraction);
+        const double threshold = gov.next_step_down(fraction);
         const bool near_switch =
-            threshold > 0.0 && fraction - threshold <= cfg.governor_margin;
+            threshold > 0.0 && fraction - threshold <= margin;
         sh.batcher.set_batch_cap(near_switch ? cfg.governor_shrink_batch
                                              : cfg.batch.max_batch_size);
       }
@@ -407,7 +428,7 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
     const double lat_ms = exec.latency_ms;
     run->stats.kernel_wall_ms_total += exec.kernel_wall_ms;
     const VfLevel& level =
-        table_.level(governor_.levels()[static_cast<std::size_t>(pos)]);
+        table_.level(ladder.levels()[static_cast<std::size_t>(pos)]);
     const double energy = power_.energy_mj(level, lat_ms);
     const double frac_before = battery_.fraction();
     if (!battery_.drain(energy)) {
@@ -421,11 +442,10 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
       break;
     }
     const double frac_after = battery_.fraction();
-    if (frac_before > frac_after &&
-        governor_.level_position(frac_after) != pos) {
-      const double threshold = governor_.next_step_down(frac_before);
-      pending_switch_lag =
-          lat_ms * (threshold - frac_after) / (frac_before - frac_after);
+    const double drain_lag =
+        gov.drain_lag_ms(pos, frac_before, frac_after, lat_ms);
+    if (drain_lag >= 0.0) {
+      pending_switch_lag = drain_lag;
     }
     const double end = now + lat_ms;
     std::int64_t batch_misses = 0;
@@ -480,6 +500,18 @@ NodeStats ServeNode::serve(const std::vector<Request>& schedule) {
       }
     }
     exec_ivals.add(now, end);
+    {
+      BatchFeedback feedback;
+      feedback.start_ms = now;
+      feedback.end_ms = end;
+      feedback.batch_size = static_cast<std::int64_t>(batch.size());
+      feedback.level_pos = pos;
+      feedback.energy_mj = energy;
+      feedback.battery_fraction = frac_after;
+      feedback.drain_fraction = frac_before - frac_after;
+      feedback.misses = batch_misses;
+      gov.observe_batch(feedback);
+    }
     if (trace_ != nullptr) {
       TraceEvent ev("batch", "batch", now, run->model_id + 1);
       ev.ph = 'X';

@@ -14,8 +14,8 @@
 //           .engine(std::move(engine))     // OWNED by the built shard
 //           .backend(std::move(backend))   // OWNED by the built shard
 //       Building yields a per-model Server shard that owns its engine and
-//       backend — replacing the raw-pointer attach_* wiring, which remains
-//       as a deprecated non-owning shim on Server.
+//       backend; the shared GovernorHandle passed to build() decides the
+//       shard's levels (see serve/governor_policy.hpp).
 //
 //   ModelRegistry — model id -> owned Server shard, ids kept ascending so
 //       every per-shard iteration order (switching, stats) is
@@ -72,9 +72,12 @@ class ModelDeployment {
   ModelDeployment& backend(std::unique_ptr<ExecutionBackend> backend);
 
   /// Builds the per-model Server shard over the (shared) table, governor
-  /// and power model, adopting the deployment's engine and backend.
-  /// Consumes the deployment (rvalue-only: ownership moves out).
-  std::unique_ptr<Server> build(const VfTable& table, const Governor& governor,
+  /// policy and power model, adopting the deployment's engine and backend.
+  /// Consumes the deployment (rvalue-only: ownership moves out).  A plain
+  /// Governor converts to the default LadderPolicy; shards built from the
+  /// same handle SHARE one policy instance.
+  std::unique_ptr<Server> build(const VfTable& table,
+                                const GovernorHandle& governor,
                                 const PowerModel& power) &&;
 
  private:
@@ -147,7 +150,9 @@ struct NodeConfig {
 /// battery/governor, driven on one virtual clock.
 class ServeNode {
  public:
-  ServeNode(NodeConfig config, VfTable table, Governor governor,
+  /// `governor` accepts a plain Governor (default LadderPolicy) or any
+  /// shared GovernorPolicy; every shard added to this node shares it.
+  ServeNode(NodeConfig config, VfTable table, GovernorHandle governor,
             PowerModel power);
 
   /// Builds the deployment into a shard and registers it under
@@ -171,7 +176,10 @@ class ServeNode {
   NodeStats serve_queue(RequestQueue& queue);
 
   const Battery& battery() const { return battery_; }
-  const Governor& governor() const { return governor_; }
+  /// The level ladder behind the shared policy.
+  const Governor& governor() const { return governor_.ladder(); }
+  /// The ONE policy deciding levels for every shard on this node.
+  GovernorPolicy& governor_policy() { return governor_.policy(); }
 
   /// Attaches a trace recorder (nullptr detaches): serve() then emits the
   /// full request/batch/switch lifecycle on per-model lanes (model id + 1)
@@ -200,7 +208,7 @@ class ServeNode {
  private:
   NodeConfig config_;
   VfTable table_;
-  Governor governor_;
+  GovernorHandle governor_;
   PowerModel power_;
   Battery battery_;
   ModelRegistry registry_;

@@ -14,7 +14,7 @@
 
 namespace rt3 {
 
-Server::Server(ServerConfig config, VfTable table, Governor governor,
+Server::Server(ServerConfig config, VfTable table, GovernorHandle governor,
                PowerModel power, LatencyModel latency, ModelSpec spec,
                std::vector<double> sparsities)
     : config_(config),
@@ -25,7 +25,8 @@ Server::Server(ServerConfig config, VfTable table, Governor governor,
       spec_(std::move(spec)),
       sparsities_(std::move(sparsities)),
       battery_(config.battery_capacity_mj) {
-  check(sparsities_.size() == governor_.levels().size(),
+  const Governor& ladder = governor_.ladder();
+  check(sparsities_.size() == ladder.levels().size(),
         "Server: one sparsity per governor level required");
   check(config_.governor_margin >= 0.0 && config_.governor_margin < 1.0,
         "Server: governor_margin out of [0, 1)");
@@ -35,8 +36,8 @@ Server::Server(ServerConfig config, VfTable table, Governor governor,
                        config_.scheduler);  // reject a bad policy up front
   std::vector<double> freqs;
   std::vector<double> effective_sparsities;
-  for (std::size_t i = 0; i < governor_.levels().size(); ++i) {
-    const std::int64_t li = governor_.levels()[i];
+  for (std::size_t i = 0; i < ladder.levels().size(); ++i) {
+    const std::int64_t li = ladder.levels()[i];
     check(li >= 0 && li < table_.size(), "Server: governor level not in table");
     freqs.push_back(table_.level(li).freq_mhz);
     effective_sparsities.push_back(
@@ -50,8 +51,7 @@ Server::Server(ServerConfig config, VfTable table, Governor governor,
 
 void Server::set_engine(ReconfigEngine* engine) {
   if (engine != nullptr) {
-    check(engine->num_levels() ==
-              static_cast<std::int64_t>(governor_.levels().size()),
+    check(engine->num_levels() == governor_.policy().num_levels(),
           "Server: engine must have one pattern set per governor level");
   }
   engine_ = engine;
@@ -69,14 +69,6 @@ void Server::adopt_engine(std::unique_ptr<ReconfigEngine> engine) {
 void Server::adopt_backend(std::unique_ptr<ExecutionBackend> backend) {
   set_backend(backend.get());
   owned_backend_ = std::move(backend);
-}
-
-// The deprecated shims share set_* with the owned path, so old wiring is
-// bitwise-equivalent to a deployment that adopts the same objects.
-void Server::attach_engine(ReconfigEngine* engine) { set_engine(engine); }
-
-void Server::attach_backend(ExecutionBackend* backend) {
-  set_backend(backend);
 }
 
 void Server::set_batch_observer(BatchObserver observer) {
@@ -105,11 +97,14 @@ double Server::batch_latency_ms(std::int64_t batch_size,
 }
 
 ServerStats Server::serve(const std::vector<Request>& schedule) {
+  GovernorPolicy& gov = governor_.policy();
+  const Governor& ladder = governor_.ladder();
+  gov.reset();  // fresh episode: EWMAs / recurrent state, never weights
   ServerStats stats;
   stats.submitted = static_cast<std::int64_t>(schedule.size());
   stats.backend = backend_->name();
   stats.policy = scheduling_policy_name(config_.scheduler.policy);
-  stats.runs_per_level.assign(governor_.levels().size(), 0.0);
+  stats.runs_per_level.assign(ladder.levels().size(), 0.0);
   battery_.recharge();
   Batcher batcher(config_.batch, config_.scheduler);
   // Virtual-time records of when switches / batch executions ran; the
@@ -153,7 +148,14 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     }
     // Governor decision at the batch boundary only: in-flight work has
     // drained by construction, queued requests survive the switch.
-    const std::int64_t pos = governor_.level_position(battery_.fraction());
+    GovernorObservation gobs;
+    gobs.now_ms = now;
+    gobs.battery_fraction = battery_.fraction();
+    gobs.queue_depth = batcher.pending();
+    gobs.deadline_pressure =
+        deadline_pressure(now, batcher.release_at_ms(),
+                          batcher.policy().max_wait_ms);
+    const std::int64_t pos = gov.decide(gobs);
     if (pos != active) {
       // An engine with a plan-swap hook swaps plans inside switch_to;
       // the hook's wall cost is folded into this switch's swap entry so
@@ -218,11 +220,12 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     // level there is no switch left to hasten (next_step_down is 0), so
     // the full cap stays and batch amortization is preserved exactly
     // when charge is scarcest.
-    if (config_.governor_margin > 0.0) {
+    const double margin = gov.shrink_margin(config_.governor_margin);
+    if (margin > 0.0) {
       const double fraction = battery_.fraction();
-      const double threshold = governor_.next_step_down(fraction);
+      const double threshold = gov.next_step_down(fraction);
       const bool near_switch =
-          threshold > 0.0 && fraction - threshold <= config_.governor_margin;
+          threshold > 0.0 && fraction - threshold <= margin;
       batcher.set_batch_cap(near_switch ? config_.governor_shrink_batch
                                         : config_.batch.max_batch_size);
     }
@@ -300,7 +303,7 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
     const double lat_ms = exec.latency_ms;
     stats.kernel_wall_ms_total += exec.kernel_wall_ms;
     const VfLevel& level =
-        table_.level(governor_.levels()[static_cast<std::size_t>(pos)]);
+        table_.level(ladder.levels()[static_cast<std::size_t>(pos)]);
     const double energy = power_.energy_mj(level, lat_ms);
     const double frac_before = battery_.fraction();
     if (!battery_.drain(energy)) {
@@ -314,16 +317,16 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       }
       break;
     }
-    // Did this batch's drain cross a governor threshold?  If so the
-    // switch can only fire at the batch boundary: interpolate the
-    // crossing inside the (linear) drain and remember the lag — this is
-    // the drain-then-switch delay governor-aware batching shrinks.
+    // Did this batch's drain cross the policy's decision boundary?  If so
+    // the switch can only fire at the batch boundary: the policy
+    // interpolates the crossing inside the (linear) drain — this is the
+    // drain-then-switch delay governor-aware batching shrinks.  Negative
+    // means no boundary was crossed.
     const double frac_after = battery_.fraction();
-    if (frac_before > frac_after &&
-        governor_.level_position(frac_after) != pos) {
-      const double threshold = governor_.next_step_down(frac_before);
-      pending_switch_lag =
-          lat_ms * (threshold - frac_after) / (frac_before - frac_after);
+    const double drain_lag =
+        gov.drain_lag_ms(pos, frac_before, frac_after, lat_ms);
+    if (drain_lag >= 0.0) {
+      pending_switch_lag = drain_lag;
     }
     const double end = now + lat_ms;
     std::int64_t batch_misses = 0;
@@ -376,6 +379,21 @@ ServerStats Server::serve(const std::vector<Request>& schedule) {
       }
     }
     exec_ivals.add(now, end);
+    {
+      // The policy's only outcome channel: per-batch energy draw and
+      // misses.  Stateless policies ignore it; for stateful ones this also
+      // closes the decision epoch opened at the batch boundary.
+      BatchFeedback feedback;
+      feedback.start_ms = now;
+      feedback.end_ms = end;
+      feedback.batch_size = static_cast<std::int64_t>(batch.size());
+      feedback.level_pos = pos;
+      feedback.energy_mj = energy;
+      feedback.battery_fraction = frac_after;
+      feedback.drain_fraction = frac_before - frac_after;
+      feedback.misses = batch_misses;
+      gov.observe_batch(feedback);
+    }
     if (trace_ != nullptr) {
       TraceEvent ev("batch", "batch", now, kLane);
       ev.ph = 'X';

@@ -20,10 +20,14 @@
 // OWNERSHIP.  A Server OWNS its ReconfigEngine and ExecutionBackend when
 // they are handed over via adopt_engine()/adopt_backend() — which is how
 // a ModelDeployment (serve/node.hpp) wires a shard — so one object owns
-// one model's full serving machinery.  The historical raw-pointer
-// attach_engine()/attach_backend() calls still work as deprecated
-// non-owning shims (they forward to the same activation path and are
-// bitwise-equivalent; the caller keeps the object alive).
+// one model's full serving machinery.
+//
+// GOVERNOR.  The level decision at every decision point goes through a
+// GovernorPolicy (serve/governor_policy.hpp), passed in as a
+// GovernorHandle.  A plain Governor converts implicitly to the default
+// LadderPolicy, which reproduces the historical threshold behaviour
+// bit-for-bit; adaptive and learned policies plug in through the same
+// handle.
 //
 // Several backbone-resident models on one device share one battery and
 // one governor through the multi-model ServeNode front-end (node.hpp),
@@ -43,6 +47,7 @@
 #include "perf/model_spec.hpp"
 #include "runtime/engine.hpp"
 #include "serve/batcher.hpp"
+#include "serve/governor_policy.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
 
@@ -97,7 +102,9 @@ class Server {
  public:
   /// `sparsities[i]` is the overall model sparsity of the sub-model for
   /// governor-level position i (fast -> slow, one per governor level).
-  Server(ServerConfig config, VfTable table, Governor governor,
+  /// `governor` accepts a plain Governor (wrapped in the default
+  /// LadderPolicy) or any shared GovernorPolicy.
+  Server(ServerConfig config, VfTable table, GovernorHandle governor,
          PowerModel power, LatencyModel latency, ModelSpec spec,
          std::vector<double> sparsities);
 
@@ -111,18 +118,6 @@ class Server {
   /// run_batch drives batch latency and its activate_level is called at
   /// every drain-then-switch point (and once at session start).
   void adopt_backend(std::unique_ptr<ExecutionBackend> backend);
-
-  /// Non-owning shim for the pre-ModelDeployment wiring; forwards to the
-  /// same activation path as adopt_engine (bitwise-equivalent), but the
-  /// caller must keep the engine alive for the Server's lifetime.
-  [[deprecated("use adopt_engine (owned) or a ModelDeployment")]]
-  void attach_engine(ReconfigEngine* engine);
-
-  /// Non-owning shim for the pre-ModelDeployment wiring; forwards to the
-  /// same activation path as adopt_backend (bitwise-equivalent), but the
-  /// caller must keep the backend alive for the Server's lifetime.
-  [[deprecated("use adopt_backend (owned) or a ModelDeployment")]]
-  void attach_backend(ExecutionBackend* backend);
 
   const ExecutionBackend& backend() const { return *backend_; }
   /// Mutable backend access for drivers that execute batches themselves
@@ -182,29 +177,29 @@ class Server {
                           std::int64_t level_pos) const;
 
   const ServerConfig& config() const { return config_; }
-  const Governor& governor() const { return governor_; }
+  /// The level ladder behind the active policy (level list + thresholds).
+  const Governor& governor() const { return governor_.ladder(); }
+  /// The policy deciding levels for this server's sessions.
+  GovernorPolicy& governor_policy() { return governor_.policy(); }
+  const GovernorHandle& governor_handle() const { return governor_; }
   const Battery& battery() const { return battery_; }
   const VfTable& vf_table() const { return table_; }
   const PowerModel& power() const { return power_; }
 
  private:
   double sparsity_for(std::int64_t level_pos) const;
-  /// Shared (non-owning) wiring behind both the adopt_* and the deprecated
-  /// attach_* entry points — one code path, so the shims are equivalent by
-  /// construction.
   void set_engine(ReconfigEngine* engine);
   void set_backend(ExecutionBackend* backend);
 
   ServerConfig config_;
   VfTable table_;
-  Governor governor_;
+  GovernorHandle governor_;
   PowerModel power_;
   LatencyModel latency_;
   ModelSpec spec_;
   std::vector<double> sparsities_;
   Battery battery_;
-  /// Engine/backend storage for the owned-deployment path; empty when the
-  /// deprecated attach_* shims wired externally-owned objects instead.
+  /// Engine/backend storage for the owned-deployment path.
   std::unique_ptr<ReconfigEngine> owned_engine_;
   std::unique_ptr<ExecutionBackend> owned_backend_;
   ReconfigEngine* engine_ = nullptr;

@@ -12,6 +12,62 @@ const std::vector<std::int64_t>& paper_serve_ladder() {
   return ladder;
 }
 
+GovernorKind governor_kind_from_name(const std::string& name) {
+  if (name == "ladder") {
+    return GovernorKind::kLadder;
+  }
+  if (name == "adaptive") {
+    return GovernorKind::kAdaptive;
+  }
+  if (name == "rl") {
+    return GovernorKind::kRl;
+  }
+  throw CheckError("unknown governor kind: " + name +
+                   " (expected ladder|adaptive|rl)");
+}
+
+std::string governor_kind_name(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kLadder: return "ladder";
+    case GovernorKind::kAdaptive: return "adaptive";
+    case GovernorKind::kRl: return "rl";
+  }
+  throw CheckError("governor_kind_name: bad enum value");
+}
+
+namespace {
+
+/// The session's governor surface: the explicit policy instance when one
+/// is configured, else a fresh policy of the configured kind over the
+/// paper serve ladder.  kRl has no weights to invent here — it needs a
+/// trained artifact.
+GovernorHandle session_governor(const ServeSessionConfig& config) {
+  Governor ladder = Governor::equal_tranches(paper_serve_ladder());
+  if (config.governor_policy != nullptr) {
+    check(config.governor_policy->num_levels() ==
+              static_cast<std::int64_t>(ladder.levels().size()),
+          "ServeSession: governor_policy ladder has " +
+              std::to_string(config.governor_policy->num_levels()) +
+              " levels, the paper serve ladder has " +
+              std::to_string(ladder.levels().size()));
+    return GovernorHandle(config.governor_policy);
+  }
+  switch (config.governor) {
+    case GovernorKind::kLadder:
+      return GovernorHandle(std::move(ladder));
+    case GovernorKind::kAdaptive:
+      return GovernorHandle(
+          std::make_shared<AdaptiveMarginPolicy>(std::move(ladder)));
+    case GovernorKind::kRl:
+      throw CheckError(
+          "ServeSession: the rl governor needs a trained policy "
+          "(rt3 train-governor, then --governor-policy FILE)");
+  }
+  throw CheckError("ServeSession: bad governor kind");
+}
+
+}  // namespace
+
 LatencyModel paper_calibrated_latency() {
   LatencyModel latency;
   latency.calibrate(ModelSpec::paper_transformer(), 0.6426, ExecMode::kBlock,
@@ -156,8 +212,7 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
   DeploymentParts parts = make_paper_deployment(
       config, rng_, owned_layers_, layers_, pruner_, sparsities_);
   server_ = std::move(parts.deployment)
-                .build(VfTable::odroid_xu3_a7(),
-                       Governor::equal_tranches(paper_serve_ladder()),
+                .build(VfTable::odroid_xu3_a7(), session_governor(config),
                        PowerModel());
   engine_ = parts.engine_view;
   measured_ = parts.measured_view;
@@ -176,9 +231,9 @@ NodeSession::NodeSession(const ServeSessionConfig& per_model,
   check(num_models >= 1, "NodeSession: need at least one model");
   NodeConfig ncfg;
   ncfg.battery_capacity_mj = per_model.battery_capacity_mj;
-  node_ = std::make_unique<ServeNode>(
-      ncfg, VfTable::odroid_xu3_a7(),
-      Governor::equal_tranches(paper_serve_ladder()), PowerModel());
+  node_ = std::make_unique<ServeNode>(ncfg, VfTable::odroid_xu3_a7(),
+                                      session_governor(per_model),
+                                      PowerModel());
   const std::vector<double> sparsities = paper_ladder_sparsities(
       paper_calibrated_latency(), per_model.timing_constraint_ms);
   for (std::int64_t m = 0; m < num_models; ++m) {

@@ -10,7 +10,9 @@
 // like `rt3 simulate`.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/backend.hpp"
@@ -18,10 +20,18 @@
 #include "nn/linear.hpp"
 #include "pruning/model_pruner.hpp"
 #include "runtime/engine.hpp"
+#include "serve/governor_policy.hpp"
 #include "serve/node.hpp"
 #include "serve/server.hpp"
 
 namespace rt3 {
+
+/// Which GovernorPolicy family a session serves under.
+enum class GovernorKind : std::uint8_t { kLadder, kAdaptive, kRl };
+
+/// "ladder" / "adaptive" / "rl" (throws CheckError otherwise).
+GovernorKind governor_kind_from_name(const std::string& name);
+std::string governor_kind_name(GovernorKind kind);
 
 /// The serving ladder {l6, l4, l3} (F -> N -> E), paper Table II.
 const std::vector<std::int64_t>& paper_serve_ladder();
@@ -67,6 +77,15 @@ struct ServeSessionConfig {
   /// Reject ingress requests whose deadline is infeasible even for an
   /// immediate solo launch (ServerStats::rejected, `rt3 serve --admit`).
   bool admit_feasible = false;
+  /// Governor family deciding levels: the static ladder (historical,
+  /// bit-identical default), the adaptive-margin controller, or the
+  /// learned RL governor.  kRl requires `governor_policy` (a trained
+  /// artifact: `rt3 train-governor`, RlGovernorPolicy::load).
+  GovernorKind governor = GovernorKind::kLadder;
+  /// Explicit policy instance; overrides `governor` when set.  A
+  /// NodeSession shares the ONE instance across every shard; its ladder
+  /// must match the paper serve ladder's level count.
+  std::shared_ptr<GovernorPolicy> governor_policy;
   std::uint64_t seed = 11;
 };
 

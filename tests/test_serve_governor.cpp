@@ -1,0 +1,287 @@
+// The GovernorPolicy seam: LadderPolicy bitwise equivalence across the
+// serve grid, Governor ladder validation, the adaptive-margin controller's
+// EWMA window, and the learned RL governor — decision determinism under a
+// fixed seed, reward monotonicity, and the train/serialize/reload
+// round-trip behind `rt3 train-governor`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rl/governor.hpp"
+#include "serve/governor_policy.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/traffic.hpp"
+
+namespace rt3 {
+namespace {
+
+Governor paper_governor() {
+  return Governor::equal_tranches(paper_serve_ladder());
+}
+
+TEST(DeadlinePressure, EdgeCasesAndInterpolation) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(deadline_pressure(100.0, inf, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(deadline_pressure(100.0, 110.0, 0.0), 1.0);
+  // Halfway through the oldest request's max-wait budget.
+  EXPECT_DOUBLE_EQ(deadline_pressure(90.0, 100.0, 20.0), 0.5);
+  // Clamped on both sides.
+  EXPECT_DOUBLE_EQ(deadline_pressure(0.0, 1000.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(deadline_pressure(200.0, 100.0, 20.0), 1.0);
+}
+
+// The seam's core contract: a session under the default governor (a bare
+// ladder wrapped by the GovernorHandle) is byte-identical to one under an
+// explicitly constructed LadderPolicy, across scenarios and with the
+// governor-aware batching margin both off and on.
+TEST(LadderPolicy, SessionsAreBitwiseIdenticalAcrossConstructionPaths) {
+  for (const TrafficScenario scenario :
+       {TrafficScenario::kSteady, TrafficScenario::kBurst,
+        TrafficScenario::kDiurnal}) {
+    for (const double margin : {0.0, 0.05}) {
+      TrafficConfig tcfg;
+      tcfg.scenario = scenario;
+      tcfg.rate_rps = 3.0;
+      tcfg.duration_ms = 30'000.0;
+      const std::vector<Request> schedule = generate_traffic(tcfg);
+
+      ServeSessionConfig implicit;  // GovernorKind::kLadder default
+      implicit.governor_margin = margin;
+      ServeSession a(implicit);
+
+      ServeSessionConfig explicit_policy = implicit;
+      explicit_policy.governor_policy =
+          std::make_shared<LadderPolicy>(paper_governor());
+      ServeSession b(explicit_policy);
+
+      EXPECT_EQ(a.server().serve(schedule).to_json(),
+                b.server().serve(schedule).to_json())
+          << traffic_scenario_name(scenario) << " margin " << margin;
+    }
+  }
+}
+
+TEST(GovernorValidation, RejectsMalformedLadders) {
+  try {
+    Governor({5, 3, 2}, {0.6});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("3 levels need 2 thresholds, got 1"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    Governor({5, 3}, {1.5});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of (0, 1)"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(Governor({5, 3}, {std::nan("")}), CheckError);
+  try {
+    Governor({5, 3, 2}, {0.3, 0.6});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("strictly descending"),
+              std::string::npos)
+        << e.what();
+  }
+  // Equal thresholds are not strictly descending either.
+  EXPECT_THROW(Governor({5, 3, 2}, {0.5, 0.5}), CheckError);
+}
+
+TEST(AdaptiveMarginPolicy, WindowTracksDrainEwmaBetweenFloorAndCap) {
+  AdaptiveMarginPolicy policy(paper_governor());
+  // Before any feedback the window collapses to the configured floor.
+  EXPECT_DOUBLE_EQ(policy.shrink_margin(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.shrink_margin(0.05), 0.05);
+
+  BatchFeedback fb;
+  fb.drain_fraction = 0.01;
+  policy.observe_batch(fb);  // first observation seeds the EWMA
+  EXPECT_DOUBLE_EQ(policy.drain_ewma(), 0.01);
+  EXPECT_DOUBLE_EQ(policy.shrink_margin(0.0), 0.02);  // 2 batches of drain
+
+  fb.drain_fraction = 0.03;
+  policy.observe_batch(fb);
+  EXPECT_DOUBLE_EQ(policy.drain_ewma(), 0.01 + 0.2 * 0.02);
+  // The configured margin stays a floor under the adaptive window.
+  EXPECT_DOUBLE_EQ(policy.shrink_margin(0.1), 0.1);
+
+  // A pathological draw spike saturates at the hard cap.
+  fb.drain_fraction = 10.0;
+  for (int i = 0; i < 50; ++i) {
+    policy.observe_batch(fb);
+  }
+  EXPECT_DOUBLE_EQ(policy.shrink_margin(0.0), policy.config().max_margin);
+
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.drain_ewma(), 0.0);
+  EXPECT_DOUBLE_EQ(policy.shrink_margin(0.0), 0.0);
+
+  // Decisions remain pure ladder lookups.
+  GovernorObservation obs;
+  obs.battery_fraction = 0.5;
+  EXPECT_EQ(policy.decide(obs), paper_governor().level_position(0.5));
+}
+
+// Identically-seeded RL policies make identical greedy decisions over an
+// identical observation stream, and repeated decide() calls inside one
+// decision epoch return the cached choice.
+TEST(RlGovernorPolicy, DecisionsAreDeterministicUnderFixedSeed) {
+  RlGovernorConfig config;
+  config.seed = 21;
+  RlGovernorPolicy a(paper_governor(), config);
+  RlGovernorPolicy b(paper_governor(), config);
+
+  double fraction = 1.0;
+  for (int step = 0; step < 40; ++step) {
+    GovernorObservation obs;
+    obs.now_ms = 100.0 * step;
+    obs.battery_fraction = fraction;
+    obs.queue_depth = step % 7;
+    obs.deadline_pressure = (step % 5) / 4.0;
+    const std::int64_t pos = a.decide(obs);
+    EXPECT_EQ(pos, b.decide(obs)) << "step " << step;
+    EXPECT_GE(pos, 0);
+    EXPECT_LT(pos, a.num_levels());
+    // Same epoch -> cached choice, even if the observation moved.
+    GovernorObservation moved = obs;
+    moved.queue_depth += 3;
+    EXPECT_EQ(a.decide(moved), pos);
+
+    BatchFeedback fb;
+    fb.level_pos = pos;
+    fb.batch_size = 2;
+    fb.misses = step % 3 == 0 ? 1 : 0;
+    fb.drain_fraction = 0.005;
+    fraction -= 0.005;
+    fb.battery_fraction = fraction;
+    a.observe_batch(fb);
+    b.observe_batch(fb);
+  }
+  EXPECT_EQ(a.decisions_this_episode(), 40);
+  EXPECT_DOUBLE_EQ(a.miss_ewma(), b.miss_ewma());
+}
+
+// RL switches fire exactly at the boundary they were decided at: no
+// threshold-crossing lag is attributed inside the drain.
+TEST(RlGovernorPolicy, ReportsNoDrainLag) {
+  RlGovernorPolicy policy(paper_governor());
+  EXPECT_LT(policy.drain_lag_ms(0, 0.7, 0.6, 100.0), 0.0);
+  // The ladder default DOES interpolate on the same crossing.
+  LadderPolicy ladder(paper_governor());
+  EXPECT_GT(ladder.drain_lag_ms(0, 0.7, 0.6, 100.0), 0.0);
+}
+
+TEST(GovernorReward, MoreMissesNeverIncreaseReward) {
+  const GovernorRewardConfig config;
+  ServerStats stats;
+  stats.submitted = 100;
+  stats.completed = 90;
+  stats.dropped = 10;
+  stats.sim_end_ms = 60'000.0;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::int64_t misses = 0; misses <= 90; ++misses) {
+    stats.deadline_misses = misses;
+    const double reward = governor_reward(config, stats);
+    EXPECT_LE(reward, prev) << misses << " misses";
+    prev = reward;
+  }
+  // Serving more of the submitted load is always at least as good...
+  ServerStats more = stats;
+  more.deadline_misses = 5;
+  stats.deadline_misses = 5;
+  more.completed = 95;
+  more.dropped = 5;
+  EXPECT_GT(governor_reward(config, more), governor_reward(config, stats));
+  // ...and dying earlier is always worse.
+  ServerStats died = stats;
+  died.sim_end_ms = 30'000.0;
+  EXPECT_LT(governor_reward(config, died), governor_reward(config, stats));
+}
+
+TEST(RlGovernorPolicy, TrainSerializeReloadRoundTrip) {
+  GovernorTrainConfig tcfg;
+  tcfg.episodes = 4;
+  tcfg.traffic.rate_rps = 3.0;
+  tcfg.traffic.duration_ms = 10'000.0;
+  tcfg.reward.reference_lifetime_ms = tcfg.traffic.duration_ms;
+  const GovernorTrainResult result = train_governor(tcfg);
+  ASSERT_EQ(result.rewards.size(), 4u);
+  ASSERT_EQ(result.advantages.size(), 4u);
+  ASSERT_EQ(result.miss_rates.size(), 4u);
+  ASSERT_NE(result.policy, nullptr);
+  EXPECT_GT(result.policy->decisions_this_episode(), -1);  // reset() ran
+
+  // Training is bit-deterministic from the config's seeds.
+  const GovernorTrainResult repeat = train_governor(tcfg);
+  EXPECT_EQ(result.policy->serialize(), repeat.policy->serialize());
+  for (std::size_t e = 0; e < result.rewards.size(); ++e) {
+    EXPECT_DOUBLE_EQ(result.rewards[e], repeat.rewards[e]);
+  }
+
+  // serialize -> parse -> serialize is byte-identical.
+  const std::string text = result.policy->serialize();
+  const std::shared_ptr<RlGovernorPolicy> reloaded =
+      RlGovernorPolicy::parse(text, paper_governor());
+  EXPECT_EQ(reloaded->serialize(), text);
+
+  // The reloaded policy serves bit-identically to the trained original.
+  TrafficConfig tc;
+  tc.scenario = TrafficScenario::kBurst;
+  tc.duration_ms = 20'000.0;
+  const std::vector<Request> schedule = generate_traffic(tc);
+  ServeSessionConfig original_cfg;
+  original_cfg.governor_policy = result.policy;
+  ServeSessionConfig reloaded_cfg;
+  reloaded_cfg.governor_policy = reloaded;
+  ServeSession original(original_cfg);
+  ServeSession from_disk(reloaded_cfg);
+  EXPECT_EQ(original.server().serve(schedule).to_json(),
+            from_disk.server().serve(schedule).to_json());
+}
+
+TEST(RlGovernorPolicy, ParseRejectsCorruptArtifacts) {
+  RlGovernorPolicy policy(paper_governor());
+  const std::string text = policy.serialize();
+  EXPECT_THROW(RlGovernorPolicy::parse("bogus\n", paper_governor()),
+               CheckError);
+  // A ladder with a different rung count must be rejected.
+  EXPECT_THROW(
+      RlGovernorPolicy::parse(text, Governor::equal_tranches({5, 3, 2, 1})),
+      CheckError);
+}
+
+TEST(ServeSession, GovernorKindPlumbing) {
+  EXPECT_EQ(governor_kind_from_name("ladder"), GovernorKind::kLadder);
+  EXPECT_EQ(governor_kind_from_name("adaptive"), GovernorKind::kAdaptive);
+  EXPECT_EQ(governor_kind_from_name("rl"), GovernorKind::kRl);
+  EXPECT_THROW(governor_kind_from_name("ondemand"), CheckError);
+  EXPECT_EQ(governor_kind_name(GovernorKind::kAdaptive), "adaptive");
+
+  // The rl kind has no weights to invent: it requires a trained policy.
+  ServeSessionConfig config;
+  config.governor = GovernorKind::kRl;
+  EXPECT_THROW(ServeSession session(config), CheckError);
+
+  // An adaptive session runs end-to-end (and differs from ladder only
+  // through the margin, so with margin 0 and light drain it still serves).
+  ServeSessionConfig adaptive;
+  adaptive.governor = GovernorKind::kAdaptive;
+  TrafficConfig tc;
+  tc.duration_ms = 10'000.0;
+  const std::vector<Request> schedule = generate_traffic(tc);
+  ServeSession session(adaptive);
+  const ServerStats stats = session.server().serve(schedule);
+  EXPECT_EQ(stats.completed + stats.dropped, stats.submitted);
+}
+
+}  // namespace
+}  // namespace rt3

@@ -1,8 +1,7 @@
-// Multi-model ServeNode front-end: deployment ownership (and the
-// deprecated attach_* shims' bitwise equivalence), model-id routing
-// determinism under concurrent ingestion, feasibility-based admission,
-// per-model -> node stats aggregation, and the shared-governor
-// drain-then-switch across every resident model.
+// Multi-model ServeNode front-end: deployment ownership, model-id
+// routing determinism under concurrent ingestion, feasibility-based
+// admission, per-model -> node stats aggregation, and the
+// shared-governor drain-then-switch across every resident model.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -89,92 +88,6 @@ TEST(ModelRegistry, RejectsDuplicateIdsAndFindsShards) {
                         Governor::equal_tranches(paper_serve_ladder()),
                         PowerModel())),
       CheckError);
-}
-
-// The deprecated attach_* shims must stay bitwise-equivalent to the
-// owned-deployment wiring: same engine construction, same backend, same
-// schedule -> identical session stats.
-TEST(Server, AttachShimsAreBitwiseEquivalentToOwnedDeployment) {
-  const LatencyModel latency = paper_calibrated_latency();
-  const std::vector<double> sparsities =
-      paper_ladder_sparsities(latency, 115.0);
-  const VfTable table = VfTable::odroid_xu3_a7();
-  const ModelSpec spec = ModelSpec::paper_transformer();
-  const Governor governor = Governor::equal_tranches(paper_serve_ladder());
-  ServerConfig cfg = paper_server_config(18'000.0, {4, 30.0});
-
-  // One resident backbone per wiring, identically seeded.
-  struct Backbone {
-    std::vector<std::unique_ptr<Linear>> owned;
-    std::vector<Linear*> layers;
-    std::unique_ptr<ModelPruner> pruner;
-    std::vector<PatternSet> sets;
-    explicit Backbone(std::uint64_t seed) {
-      Rng rng(seed);
-      for (int i = 0; i < 2; ++i) {
-        owned.push_back(std::make_unique<Linear>(16, 16, rng));
-        layers.push_back(owned.back().get());
-      }
-      pruner = std::make_unique<ModelPruner>(layers);
-      BpConfig bp;
-      bp.num_blocks = 4;
-      bp.prune_fraction = 0.25;
-      pruner->apply_bp(bp);
-      for (double s : {0.25, 0.5, 0.75}) {
-        sets.push_back(random_pattern_set(4, s, 2, rng));
-      }
-    }
-  };
-
-  TrafficConfig tcfg;
-  tcfg.duration_ms = 60'000.0;
-  tcfg.rate_rps = 5.0;
-  const std::vector<Request> schedule = generate_traffic(tcfg);
-
-  // Old wiring: externally-owned engine + backend, raw-pointer attach.
-  Backbone old_backbone(11);
-  ReconfigEngine old_engine(*old_backbone.pruner, old_backbone.sets,
-                            SwitchCostModel(), spec, 100);
-  std::vector<double> freqs;
-  for (std::int64_t li : paper_serve_ladder()) {
-    freqs.push_back(table.level(li).freq_mhz);
-  }
-  AnalyticBackend old_backend(latency, spec, ExecMode::kPattern, freqs,
-                              sparsities);
-  Server old_server(cfg, table, governor, PowerModel(), latency, spec,
-                    sparsities);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  old_server.attach_engine(&old_engine);
-  old_server.attach_backend(&old_backend);
-#pragma GCC diagnostic pop
-  const ServerStats old_stats = old_server.serve(schedule);
-
-  // New wiring: the deployment owns engine and backend.
-  Backbone new_backbone(11);
-  ModelDeployment dep;
-  dep.config(cfg).spec(spec).latency(latency).sparsities(sparsities);
-  dep.engine(std::make_unique<ReconfigEngine>(*new_backbone.pruner,
-                                              new_backbone.sets,
-                                              SwitchCostModel(), spec, 100));
-  dep.backend(std::make_unique<AnalyticBackend>(latency, spec,
-                                                ExecMode::kPattern, freqs,
-                                                sparsities));
-  std::unique_ptr<Server> new_server =
-      std::move(dep).build(table, governor, PowerModel());
-  const ServerStats new_stats = new_server->serve(schedule);
-
-  EXPECT_EQ(old_stats.completed, new_stats.completed);
-  EXPECT_EQ(old_stats.batches, new_stats.batches);
-  EXPECT_EQ(old_stats.switches, new_stats.switches);
-  EXPECT_EQ(old_stats.deadline_misses, new_stats.deadline_misses);
-  EXPECT_DOUBLE_EQ(old_stats.sim_end_ms, new_stats.sim_end_ms);
-  EXPECT_DOUBLE_EQ(old_stats.energy_used_mj, new_stats.energy_used_mj);
-  EXPECT_DOUBLE_EQ(old_stats.switch_ms_total, new_stats.switch_ms_total);
-  ASSERT_EQ(old_stats.latency_ms.size(), new_stats.latency_ms.size());
-  for (std::size_t i = 0; i < old_stats.latency_ms.size(); ++i) {
-    EXPECT_DOUBLE_EQ(old_stats.latency_ms[i], new_stats.latency_ms[i]);
-  }
 }
 
 // A node with ONE registered model must reproduce the single-model

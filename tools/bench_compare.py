@@ -8,9 +8,15 @@ each cell against ITS OWN baseline cell (so the gate never punishes one
 column for another's latency profile — EDF trades background p99 for
 interactive misses by design):
 
-    scenarios       -> {scenario  x policy}  single-model Server cells
-    node_scenarios  -> {scenario  x models}  multi-model ServeNode cells
-    overload        -> {burst     x admission}  edf-shed vs edf-admit
+    scenarios          -> {scenario  x policy}  single-model Server cells
+    node_scenarios     -> {scenario  x models}  multi-model ServeNode cells
+    overload           -> {burst     x admission}  edf-shed vs edf-admit
+    governor_scenarios -> {discharge x governor}  ladder/adaptive/rl cells
+
+The governor grid also carries a WITHIN-candidate cross-column check: on
+every discharge row the learned rl governor must not regress the
+deadline-miss rate against the static ladder on the same traffic (the
+whole point of training it), to the same miss tolerance.
 
 With --exec the inputs are BENCH_exec files instead and the gate is the
 kernel_speedup grid: for every family in the baseline, the candidate's
@@ -42,7 +48,7 @@ import sys
 # Gated grids: top-level key -> {row -> {column -> cell}}.  "scenarios"
 # is mandatory (the PR-3 contract); the others are gated when present in
 # the baseline, so an old baseline still compares cleanly.
-SECTIONS = ("scenarios", "node_scenarios", "overload")
+SECTIONS = ("scenarios", "node_scenarios", "overload", "governor_scenarios")
 
 
 def load_cells(path):
@@ -171,6 +177,27 @@ def compare_exec(baseline_path, candidate_path):
           f"above their speedup floors")
 
 
+def check_rl_vs_ladder(cells, miss_tolerance):
+    """Within-candidate governor check: rl never regresses the miss rate
+    against ladder on the same discharge row.  Returns failure count."""
+    rows = sorted({row for (section, row, _c) in cells
+                   if section == "governor_scenarios"})
+    failures = 0
+    for row in rows:
+        ladder = cells.get(("governor_scenarios", row, "ladder"))
+        rl = cells.get(("governor_scenarios", row, "rl"))
+        if ladder is None or rl is None:
+            continue  # the missing-cell pass already reports gate holes
+        limit = ladder["miss_rate"] + miss_tolerance
+        ok = rl["miss_rate"] <= limit
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] governor rl-vs-ladder {row:8s} "
+              f"rl miss {rl['miss_rate']:.4f} vs ladder "
+              f"{ladder['miss_rate']:.4f} (limit {limit:.4f})")
+        failures += not ok
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -237,9 +264,15 @@ def main():
         if verdicts:
             failures.append((key, verdicts))
 
-    if failures:
-        print(f"\nbench_compare: {len(failures)} cell(s) regressed beyond "
-              f"tolerance", file=sys.stderr)
+    rl_failures = check_rl_vs_ladder(cand, args.miss_tolerance)
+    if failures or rl_failures:
+        if failures:
+            print(f"\nbench_compare: {len(failures)} cell(s) regressed "
+                  f"beyond tolerance", file=sys.stderr)
+        if rl_failures:
+            print(f"\nbench_compare: rl governor regressed the miss rate "
+                  f"vs ladder on {rl_failures} discharge row(s)",
+                  file=sys.stderr)
         sys.exit(1)
     print(f"\nbench_compare: all {len(shared)} cells within tolerance")
 

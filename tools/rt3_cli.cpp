@@ -29,6 +29,13 @@
 //         --classes N        traffic priority classes        (1)
 //         --prio-weight MS   edf-prio key penalty per class  (400)
 //         --aging R          edf-prio anti-starvation rate   (0.5)
+//         --governor NAME    level-decision policy           (ladder)
+//                            ladder   static battery thresholds (paper)
+//                            adaptive ladder + self-sizing batch margin
+//                            rl       learned GRU governor; requires a
+//                                     trained --governor-policy artifact
+//         --governor-policy FILE  rt3-governor artifact from
+//                            `rt3 train-governor` (implies --governor rl)
 //         --governor-margin F  battery-fraction margin above the next
 //                            step-down threshold inside which batches
 //                            shrink to --governor-batch      (0 = off)
@@ -84,6 +91,23 @@
 //         --tune-batch N     batch size tuned at                    (1)
 //         --tune-seed S      candidate-sampling seed                (42)
 //       plus the `rt3 serve` session flags (--t, --threads, ...).
+//   rt3 train-governor [--episodes N] [--out FILE] ...  offline REINFORCE
+//       training of the learned runtime governor (rl/governor.hpp): each
+//       episode is one full seeded virtual-clock serving session, the
+//       reward trades served fraction and battery lifetime against
+//       deadline misses, and the trained policy is written as an
+//       "rt3-governor v1" text artifact for `rt3 serve --governor rl
+//       --governor-policy FILE`.  Flags:
+//         --out FILE         artifact destination   (rt3_governor.txt)
+//         --load FILE        skip training: load FILE and re-serialize to
+//                            --out (format round-trip, like `rt3 tune`)
+//         --episodes N       training episodes                (30)
+//         --hidden N         GRU hidden width                 (16)
+//         --lr F             Adam learning rate               (0.005)
+//         --governor-seed S  weight-init seed                 (11)
+//         --sample-seed S    action-sampling seed             (1234)
+//       plus the `rt3 serve` session + traffic flags (--capacity, --t,
+//       --rate, --duration, --seed, ...), which define the episodes.
 //   rt3 report [ARGS...]                              render a session
 //       report (series + SLO breaches + miss attribution) via
 //       tools/report.py; see `rt3 report --help`
@@ -105,6 +129,7 @@
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "rl/governor.hpp"
 #include "runtime/engine.hpp"
 #include "serve/node.hpp"
 #include "serve/policy.hpp"
@@ -329,6 +354,18 @@ ServeSessionConfig parse_session_config(const std::vector<std::string>& args) {
       scheduling_policy_from_name(arg_string(args, "--policy", "fifo"));
   scfg.scheduler.prio_weight_ms = arg_double(args, "--prio-weight", 400.0);
   scfg.scheduler.aging_ms_per_ms = arg_double(args, "--aging", 0.5);
+  scfg.governor =
+      governor_kind_from_name(arg_string(args, "--governor", "ladder"));
+  const std::string policy_path = arg_string(args, "--governor-policy", "");
+  if (!policy_path.empty()) {
+    scfg.governor = GovernorKind::kRl;
+    scfg.governor_policy = RlGovernorPolicy::load(
+        policy_path, Governor::equal_tranches(paper_serve_ladder()));
+  } else {
+    check(scfg.governor != GovernorKind::kRl,
+          "--governor rl needs a trained artifact: rt3 train-governor, "
+          "then --governor-policy FILE");
+  }
   scfg.governor_margin = arg_double(args, "--governor-margin", 0.0);
   scfg.governor_shrink_batch = arg_int(args, "--governor-batch", 1);
   scfg.measured_threads = arg_int(args, "--threads", 2);
@@ -404,7 +441,11 @@ int cmd_serve(const std::vector<std::string>& args) {
             << fmt_f(scfg.batch.max_wait_ms, 0) << " ms, " << producers
             << " producer threads, " << exec_backend_name(scfg.backend)
             << " backend, " << scheduling_policy_name(scfg.scheduler.policy)
-            << " policy" << (tcfg.priority_classes > 1
+            << " policy"
+            << (scfg.governor != GovernorKind::kLadder
+                    ? ", " + governor_kind_name(scfg.governor) + " governor"
+                    : "")
+            << (tcfg.priority_classes > 1
                                  ? ", " + std::to_string(tcfg.priority_classes) +
                                        " priority classes"
                                  : "")
@@ -587,6 +628,63 @@ int cmd_tune(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Offline training of the learned runtime governor: REINFORCE episodes
+/// over full seeded serving sessions, trained weights written as an
+/// "rt3-governor v1" text artifact for `rt3 serve --governor-policy`.
+/// With --load the training is skipped and an existing artifact is
+/// re-serialized, which doubles as the format round-trip check in CI.
+int cmd_train_governor(const std::vector<std::string>& args) {
+  const std::string out = arg_string(args, "--out", "rt3_governor.txt");
+  const std::string load = arg_string(args, "--load", "");
+
+  if (!load.empty()) {
+    const std::shared_ptr<RlGovernorPolicy> policy = RlGovernorPolicy::load(
+        load, Governor::equal_tranches(paper_serve_ladder()));
+    policy->save(out);
+    std::cout << "loaded " << load << ": hidden "
+              << policy->config().hidden_dim << ", "
+              << policy->num_levels()
+              << " ladder rungs, re-serialized -> " << out << "\n";
+    return 0;
+  }
+
+  GovernorTrainConfig tcfg;
+  tcfg.episodes = arg_int(args, "--episodes", 30);
+  tcfg.policy.hidden_dim = arg_int(args, "--hidden", 16);
+  tcfg.policy.learning_rate =
+      static_cast<float>(arg_double(args, "--lr", 5e-3));
+  tcfg.policy.seed =
+      static_cast<std::uint64_t>(arg_int(args, "--governor-seed", 11));
+  tcfg.sample_seed =
+      static_cast<std::uint64_t>(arg_int(args, "--sample-seed", 1234));
+  tcfg.session = parse_session_config(args);
+  tcfg.traffic = parse_traffic_config(args);
+  tcfg.traffic_seed = tcfg.traffic.seed;
+  // Surviving the whole arrival process earns full lifetime credit.
+  tcfg.reward.reference_lifetime_ms = tcfg.traffic.duration_ms;
+
+  std::cout << "training the rl governor: " << tcfg.episodes
+            << " episodes over " << fmt_f(tcfg.session.battery_capacity_mj, 0)
+            << " mJ / " << fmt_f(tcfg.traffic.duration_ms / 1000.0, 0)
+            << " s sessions (steady/burst/diurnal round-robin, "
+            << fmt_f(tcfg.traffic.rate_rps, 1) << " req/s), hidden "
+            << tcfg.policy.hidden_dim << ", lr "
+            << tcfg.policy.learning_rate << "\n\n";
+  const GovernorTrainResult result = train_governor(tcfg);
+
+  TablePrinter t({"episode", "reward", "advantage", "miss rate"});
+  for (std::size_t e = 0; e < result.rewards.size(); ++e) {
+    t.add_row({std::to_string(e), fmt_f(result.rewards[e], 4),
+               fmt_f(result.advantages[e], 4),
+               fmt_pct(result.miss_rates[e])});
+  }
+  std::cout << t.str();
+  result.policy->save(out);
+  std::cout << "\nwrote trained governor -> " << out
+            << "  (serve with: rt3 serve --governor-policy " << out << ")\n";
+  return 0;
+}
+
 /// Thin wrapper shelling out to tools/report.py: renders a session's
 /// telemetry series + SLO breaches + miss attribution into a terminal
 /// summary and/or a self-contained HTML report.
@@ -629,7 +727,9 @@ int usage() {
       "  simulate [--capacity MJ] [--t MS]              discharge simulation\n"
       "  serve    [--scenario steady|burst|diurnal] [--backend analytic|measured]\n"
       "           [--policy fifo|edf|edf-prio] [--classes N] [--prio-weight MS]\n"
-      "           [--aging R] [--governor-margin F] [--governor-batch N]\n"
+      "           [--aging R] [--governor ladder|adaptive|rl]\n"
+      "           [--governor-policy FILE] [--governor-margin F]\n"
+      "           [--governor-batch N]\n"
       "           [--capacity MJ] [--t MS] [--rate RPS] [--duration MS]\n"
       "           [--slack MS] [--batch N] [--wait MS] [--threads N] [--shed]\n"
       "           [--admit] [--producers N] [--seed S] [--trace FILE]\n"
@@ -645,6 +745,11 @@ int usage() {
       "           [--repeats N] [--tune-batch N] [--tune-seed S] + session\n"
       "           flags                                 autotune kernels and\n"
       "                                 write a tuning record for --tuning\n"
+      "  train-governor [--episodes N] [--hidden N] [--lr F] [--out FILE]\n"
+      "           [--load FILE] [--governor-seed S] [--sample-seed S] +\n"
+      "           session/traffic flags          train the learned runtime\n"
+      "                                 governor; serve it with --governor rl\n"
+      "                                 --governor-policy FILE\n"
       "  report   [--trace F] [--telemetry F] [--metrics F] [--out F.html]\n"
       "                                                 render a session report\n"
       "  levels                                         print the V/F ladder\n";
@@ -685,6 +790,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "tune") {
       return cmd_tune(args);
+    }
+    if (cmd == "train-governor") {
+      return cmd_train_governor(args);
     }
     if (cmd == "report") {
       return cmd_report(args);
