@@ -1,0 +1,220 @@
+#include "common/lockdep.hpp"
+
+#if RT3_LOCKDEP
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rt3::lockdep {
+namespace {
+
+/// Bookkeeping state.  Guarded by a RAW std::mutex on purpose: the
+/// checker must not instrument its own lock (it nests inside every
+/// instrumented acquisition, which would self-report).  lockdep.* is the
+/// raw-mutex rule's whitelist in tools/rt3_lint.py for exactly this.
+struct State {
+  std::mutex mu;
+  /// Interned lock classes; index = class id.  std::map keeps
+  /// registration independent of pointer values.
+  std::map<std::string, int> ids;
+  std::vector<std::string> names;
+  /// before[a] holds b iff some thread held a while acquiring b.
+  std::vector<std::set<int>> before;
+  /// For each recorded edge (a, b): the held stack at record time,
+  /// rendered for reports ("A -> B [held: A]").
+  std::map<std::pair<int, int>, std::string> edge_site;
+  /// Edges already reported, so a non-aborting handler (tests) does not
+  /// spam one report per re-occurrence.
+  std::set<std::pair<int, int>> reported;
+  Handler handler = nullptr;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: outlives all static mutexes
+  return *s;
+}
+
+/// The calling thread's held lock-class stack, in acquisition order.
+// rt3-lint: allow(raw-parallel) per-thread held-lock stack is the design
+thread_local std::vector<int> t_held;
+
+void default_handler(const char* report) {
+  std::fprintf(stderr, "%s", report);
+  std::abort();
+}
+
+/// True iff `to` is reachable from `from` in the acquired-before graph.
+/// Iterative DFS; collects one witness path into `path` (class ids from
+/// `from` to `to`) for the report.
+bool reachable(const State& s, int from, int to, std::vector<int>& path) {
+  std::vector<int> stack = {from};
+  std::vector<int> parent(s.names.size(), -1);
+  std::vector<bool> seen(s.names.size(), false);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      for (int at = to; at != -1; at = parent[static_cast<std::size_t>(at)]) {
+        path.push_back(at);
+      }
+      for (std::size_t i = 0, j = path.size(); i + 1 < j; ++i) {
+        std::swap(path[i], path[--j]);
+      }
+      return true;
+    }
+    for (const int next : s.before[static_cast<std::size_t>(node)]) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        parent[static_cast<std::size_t>(next)] = node;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::string render_stack(const State& s, const std::vector<int>& held) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    out += (i ? ", " : "") + s.names[static_cast<std::size_t>(held[i])];
+  }
+  return out + "]";
+}
+
+/// Builds the inversion report for acquiring `acquiring` while holding
+/// `held_cls`, where the graph already orders `acquiring` before
+/// `held_cls` along `path`.
+std::string render_report(const State& s, int held_cls, int acquiring,
+                          const std::vector<int>& path) {
+  std::string out =
+      "rt3 lockdep: lock-order inversion detected\n"
+      "  this thread holds " +
+      s.names[static_cast<std::size_t>(held_cls)] + " and is acquiring " +
+      s.names[static_cast<std::size_t>(acquiring)] +
+      "\n  held stack now: " + render_stack(s, t_held) +
+      "\n  but the reverse order was already established:\n";
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto edge = std::make_pair(path[i], path[i + 1]);
+    const auto it = s.edge_site.find(edge);
+    out += "    " + s.names[static_cast<std::size_t>(path[i])] + " -> " +
+           s.names[static_cast<std::size_t>(path[i + 1])] +
+           (it != s.edge_site.end() ? "  (held stack then: " + it->second + ")"
+                                    : "") +
+           "\n";
+  }
+  out +=
+      "  cycle: taking " + s.names[static_cast<std::size_t>(acquiring)] +
+      " here closes " + s.names[static_cast<std::size_t>(acquiring)] +
+      " -> ... -> " + s.names[static_cast<std::size_t>(held_cls)] + " -> " +
+      s.names[static_cast<std::size_t>(acquiring)] + "\n";
+  return out;
+}
+
+}  // namespace
+
+int register_class(const char* name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto [it, inserted] =
+      s.ids.emplace(name, static_cast<int>(s.names.size()));
+  if (inserted) {
+    s.names.emplace_back(name);
+    s.before.emplace_back();
+  }
+  return it->second;
+}
+
+void on_lock(int cls) {
+  // Same class already held by this thread: with one lock class per
+  // mutex name, nested same-class acquisition is either self-deadlock
+  // (same instance) or an unordered peer pair (two instances) — both
+  // banned.  Checked before blocking on the OS mutex.
+  std::string report;
+  Handler handler = nullptr;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    handler = s.handler != nullptr ? s.handler : &default_handler;
+    for (const int held : t_held) {
+      if (held == cls) {
+        report = "rt3 lockdep: recursive acquisition of lock class " +
+                 s.names[static_cast<std::size_t>(cls)] +
+                 " (self-deadlock or unordered same-class pair)\n" +
+                 "  held stack now: " + render_stack(s, t_held) + "\n";
+        break;
+      }
+      std::vector<int> path;
+      if (s.before[static_cast<std::size_t>(cls)].count(held) != 0 ||
+          reachable(s, cls, held, path)) {
+        if (path.empty()) {
+          path = {cls, held};
+        }
+        const auto edge = std::make_pair(held, cls);
+        if (s.reported.insert(edge).second) {
+          report = render_report(s, held, cls, path);
+        }
+        break;
+      }
+    }
+    if (report.empty()) {
+      for (const int held : t_held) {
+        const auto edge = std::make_pair(held, cls);
+        if (s.before[static_cast<std::size_t>(held)].insert(cls).second) {
+          s.edge_site[edge] = render_stack(s, t_held);
+        }
+      }
+    }
+  }
+  if (!report.empty()) {
+    handler(report.c_str());  // default aborts; tests throw
+    return;                   // throwing handlers skip the push
+  }
+  t_held.push_back(cls);
+}
+
+void on_try_lock(int cls) { t_held.push_back(cls); }
+
+void on_unlock(int cls) {
+  for (std::size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1] == cls) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void set_handler(Handler handler) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.handler = handler;
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& b : s.before) {
+    b.clear();
+  }
+  s.edge_site.clear();
+  s.reported.clear();
+  t_held.clear();
+}
+
+int num_edges() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  int n = 0;
+  for (const auto& b : s.before) {
+    n += static_cast<int>(b.size());
+  }
+  return n;
+}
+
+}  // namespace rt3::lockdep
+
+#endif  // RT3_LOCKDEP

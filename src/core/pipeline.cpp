@@ -1,10 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/wall_time.hpp"
 #include "rl/reward.hpp"
 
 namespace rt3 {
@@ -219,11 +219,9 @@ Rt3Result run_rt3_search(const Rt3Options& options, const ModelSpec& spec,
   }
   result.pattern_switch_ms =
       cost_model.pattern_set_switch_ms(max_set_bytes + tiles * 2, tiles);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = wall_now();
   hooks.measure_sparsity(best.sets.front());
-  const auto t1 = std::chrono::steady_clock::now();
-  result.pattern_switch_wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.pattern_switch_wall_ms = wall_ms_since(t0);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -44,10 +45,12 @@ std::string trace_json_escape(const std::string& s) {
 }
 
 std::string trace_json_num(double value) {
-  std::ostringstream os;
-  os.precision(15);
-  os << value;
-  return os.str();
+  // %.17g is the repo-wide float wire format (see tuner/governor
+  // artifacts): 17 significant digits round-trip every double exactly,
+  // where the former precision(15) rendering silently lost the low bits.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
 }
 
 TraceEvent& TraceEvent::arg(const std::string& key, double value) {
@@ -75,12 +78,15 @@ TraceRecorder::TraceRecorder(const TraceConfig& config)
 TraceRecorder::Buffer* TraceRecorder::local_buffer() {
   // Cache keyed by a unique recorder id, not the address: a recorder
   // constructed at a dead one's address must not inherit its buffer.
+  // Lookup-only map: never iterated, so hash order cannot leak into any
+  // output.
+  // rt3-lint: allow(raw-parallel, hash-order) per-thread lookup-only cache
   thread_local std::unordered_map<std::uint64_t, Buffer*> cache;
   const auto it = cache.find(recorder_id_);
   if (it != cache.end()) {
     return it->second;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<Buffer>());
   Buffer* buffer = buffers_.back().get();
   cache[recorder_id_] = buffer;
@@ -104,7 +110,7 @@ std::vector<TraceEvent> TraceRecorder::merged() const {
   };
   std::vector<Keyed> keyed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& buffer : buffers_) {
       for (std::size_t i = 0; i < buffer->events.size(); ++i) {
         keyed.push_back({&buffer->events[i], i});
@@ -144,7 +150,7 @@ std::vector<TraceEvent> TraceRecorder::merged() const {
 }
 
 std::int64_t TraceRecorder::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::int64_t n = 0;
   for (const auto& buffer : buffers_) {
     n += static_cast<std::int64_t>(buffer->events.size());

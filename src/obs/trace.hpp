@@ -27,11 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/lockdep.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/wall_time.hpp"
 
 namespace rt3 {
@@ -114,8 +115,8 @@ class TraceRecorder {
 
   /// All events merged across thread buffers in canonical order:
   /// (ts, tid, cat, name, id, per-thread sequence).
-  std::vector<TraceEvent> merged() const;
-  std::int64_t num_events() const;
+  std::vector<TraceEvent> merged() const RT3_EXCLUDES(mu_);
+  std::int64_t num_events() const RT3_EXCLUDES(mu_);
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"} with one metadata
   /// thread_name event per track, loadable in Perfetto.
@@ -126,16 +127,20 @@ class TraceRecorder {
   struct Buffer {
     std::vector<TraceEvent> events;
   };
-  Buffer* local_buffer();
+  Buffer* local_buffer() RT3_EXCLUDES(mu_);
 
   /// Distinguishes recorders in the thread-local buffer cache (a new
   /// recorder at a recycled address must not alias a dead one's cache
   /// entry).
   const std::uint64_t recorder_id_;
-  mutable std::mutex mu_;  // guards buffers_ registration, not appends
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  mutable Mutex mu_{"TraceRecorder::mu_"};
+  /// Registration (growing the vector) requires mu_; each Buffer's
+  /// events are appended lock-free by exactly the owning thread, and
+  /// readers (merged/num_events) take mu_ and rely on the caller's
+  /// happens-before with all recording threads (session teardown).
+  std::vector<std::unique_ptr<Buffer>> buffers_ RT3_GUARDED_BY(mu_);
   double now_ms_ = 0.0;
-  std::chrono::steady_clock::time_point t0_;
+  WallTimePoint t0_;
   TraceConfig config_;
   /// record() attempts admitted against the cap (only counted up while a
   /// cap is set); drops past it.

@@ -87,15 +87,18 @@ std::vector<Request> RequestHeap::extract_expired(double now_ms) {
 }
 
 RequestQueue::RequestQueue(std::int64_t capacity, SchedulerConfig scheduler)
-    : items_(scheduler), capacity_(capacity) {
+    : scheduler_(scheduler), items_(scheduler), capacity_(capacity) {
   check(capacity >= 0, "RequestQueue: negative capacity");
 }
 
 bool RequestQueue::push(Request r) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [&] {
-    return closed_ || capacity_ == 0 || items_.size() < capacity_;
-  });
+  UniqueLock lock(mu_);
+  // Explicit wait loops (not wait(lock, pred)): the thread-safety
+  // analysis cannot look inside a predicate lambda, but it proves these
+  // guarded reads are under mu_ in the loop form.
+  while (!(closed_ || capacity_ == 0 || items_.size() < capacity_)) {
+    not_full_.wait(lock);
+  }
   if (closed_) {
     return false;
   }
@@ -106,8 +109,10 @@ bool RequestQueue::push(Request r) {
 }
 
 bool RequestQueue::pop(Request& out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  UniqueLock lock(mu_);
+  while (!(closed_ || !items_.empty())) {
+    not_empty_.wait(lock);
+  }
   if (items_.empty()) {
     return false;  // closed and drained
   }
@@ -118,7 +123,7 @@ bool RequestQueue::pop(Request& out) {
 }
 
 bool RequestQueue::try_pop(Request& out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   if (items_.empty()) {
     return false;
   }
@@ -130,7 +135,7 @@ bool RequestQueue::try_pop(Request& out) {
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -138,12 +143,12 @@ void RequestQueue::close() {
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 std::int64_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 

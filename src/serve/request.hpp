@@ -9,11 +9,11 @@
 // while the queue and thread pool remain real concurrency primitives.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/lockdep.hpp"
+#include "common/thread_annotations.hpp"
 #include "serve/policy.hpp"
 
 namespace rt3 {
@@ -104,27 +104,30 @@ class RequestQueue {
                         SchedulerConfig scheduler = {});
 
   /// Blocks while a bounded queue is full; returns false iff closed.
-  bool push(Request r);
+  bool push(Request r) RT3_EXCLUDES(mu_);
 
   /// Blocks until an item arrives or the queue is closed and drained;
   /// returns false only in the latter case.
-  bool pop(Request& out);
+  bool pop(Request& out) RT3_EXCLUDES(mu_);
 
   /// Non-blocking pop; false if nothing is immediately available.
-  bool try_pop(Request& out);
+  bool try_pop(Request& out) RT3_EXCLUDES(mu_);
 
-  void close();
-  bool closed() const;
-  std::int64_t size() const;
-  const SchedulerConfig& scheduler() const { return items_.config(); }
+  void close() RT3_EXCLUDES(mu_);
+  bool closed() const RT3_EXCLUDES(mu_);
+  std::int64_t size() const RT3_EXCLUDES(mu_);
+  const SchedulerConfig& scheduler() const { return scheduler_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  RequestHeap items_;
+  mutable Mutex mu_{"RequestQueue::mu_"};
+  CondVar not_empty_;
+  CondVar not_full_;
+  /// Immutable after construction; the unguarded copy scheduler() reads
+  /// (items_ itself may only be touched under mu_).
+  const SchedulerConfig scheduler_;
+  RequestHeap items_ RT3_GUARDED_BY(mu_);
   std::int64_t capacity_;
-  bool closed_ = false;
+  bool closed_ RT3_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rt3

@@ -219,6 +219,7 @@ ServeSession::ServeSession(const ServeSessionConfig& config)
 }
 
 struct NodeSession::Resident {
+  // rt3-lint: allow(missing-seed) seeded by the Resident(seed) init list
   Rng rng;
   std::vector<std::unique_ptr<Linear>> owned_layers;
   std::vector<Linear*> layers;

@@ -106,6 +106,7 @@ class ServeSession {
   const std::vector<double>& sparsities() const { return sparsities_; }
 
  private:
+  // rt3-lint: allow(missing-seed) seeded from config.seed in every ctor
   Rng rng_;
   std::vector<std::unique_ptr<Linear>> owned_layers_;
   std::vector<Linear*> layers_;

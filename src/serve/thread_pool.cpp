@@ -36,7 +36,7 @@ ThreadPool::ThreadPool(std::int64_t num_threads, bool pin_to_cores) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   has_work_.notify_all();
@@ -47,7 +47,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     check(!stopping_, "ThreadPool: submit after shutdown");
     tasks_.push_back(std::move(task));
   }
@@ -55,8 +55,10 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  UniqueLock lock(mu_);
+  while (!(tasks_.empty() && active_ == 0)) {
+    idle_.wait(lock);
+  }
   if (first_error_ != nullptr) {
     const std::exception_ptr error = first_error_;
     first_error_ = nullptr;
@@ -69,8 +71,10 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     bool poisoned = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      has_work_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      UniqueLock lock(mu_);
+      while (!(stopping_ || !tasks_.empty())) {
+        has_work_.wait(lock);
+      }
       if (tasks_.empty()) {
         return;  // stopping and drained
       }
@@ -86,14 +90,14 @@ void ThreadPool::worker_loop() {
       try {
         task();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (first_error_ == nullptr) {
           first_error_ = std::current_exception();
         }
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (tasks_.empty() && active_ == 0) {
         idle_.notify_all();

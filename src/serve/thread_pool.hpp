@@ -3,14 +3,15 @@
 // opaque closures; the pool makes no ordering guarantee across workers.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/lockdep.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace rt3 {
 
@@ -29,8 +30,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; throws CheckError after shutdown began.
-  void submit(std::function<void()> task);
+  /// Enqueues a task; throws CheckError after shutdown began.  Callers
+  /// must not hold mu_ (kernel task bodies that submit follow-up work
+  /// would self-deadlock — see MeasuredBackend's pool interactions).
+  void submit(std::function<void()> task) RT3_EXCLUDES(mu_);
 
   /// Blocks until the task queue is empty AND no worker is mid-task.
   /// A task that threw does not kill its worker: the first captured
@@ -38,7 +41,7 @@ class ThreadPool {
   /// drain the remaining queue WITHOUT running task bodies, so the error
   /// surfaces promptly instead of behind a long backlog; the rethrow
   /// clears the poison and the pool is reusable.
-  void wait_idle();
+  void wait_idle() RT3_EXCLUDES(mu_);
 
   std::int64_t num_threads() const {
     return static_cast<std::int64_t>(workers_.size());
@@ -48,16 +51,18 @@ class ThreadPool {
   bool pinned() const { return pinned_; }
 
  private:
-  void worker_loop();
+  void worker_loop() RT3_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable has_work_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> tasks_;
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar has_work_;
+  CondVar idle_;
+  std::deque<std::function<void()>> tasks_ RT3_GUARDED_BY(mu_);
+  /// Mutated only by the constructing thread (ctor fills, dtor joins);
+  /// workers never touch the vector, so it needs no lock.
   std::vector<std::thread> workers_;
-  std::exception_ptr first_error_;
-  std::int64_t active_ = 0;
-  bool stopping_ = false;
+  std::exception_ptr first_error_ RT3_GUARDED_BY(mu_);
+  std::int64_t active_ RT3_GUARDED_BY(mu_) = 0;
+  bool stopping_ RT3_GUARDED_BY(mu_) = false;
   bool pinned_ = false;
 };
 

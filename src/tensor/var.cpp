@@ -92,8 +92,12 @@ void Var::backward() {
   check(defined(), "Var::backward: null handle");
   check(value().numel() == 1, "Var::backward: root must be scalar");
 
-  // Topological order via iterative post-order DFS over parents.
+  // Topological order via iterative post-order DFS over parents.  The
+  // visit ORDER comes from the deterministic parents vectors; the hash
+  // set only answers membership, so hash/pointer order never reaches
+  // `order`.
   std::vector<detail::Node*> order;
+  // rt3-lint: allow(hash-order) membership-only set, never iterated
   std::unordered_set<detail::Node*> visited;
   std::vector<std::pair<detail::Node*, std::size_t>> stack;
   stack.emplace_back(node_.get(), 0);

@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -15,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/wall_time.hpp"
 #include "exec/analytic_backend.hpp"
 #include "exec/backend.hpp"
 #include "exec/calibrator.hpp"
@@ -648,11 +648,9 @@ TEST(ThreadPool, PinnedPoolMatchesFloatingBitwiseWithBoundedJitter) {
   // benchmark.
   std::vector<double> walls;
   for (int rep = 0; rep < 20; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wall_now();
     const Tensor out = dense_gemm(w, x, &pinned, tiny_tiles());
-    walls.push_back(std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count() +
+    walls.push_back(wall_ms_since(t0) +
                     static_cast<double>(out[0] != out[0]));  // keep out live
   }
   std::sort(walls.begin(), walls.end());

@@ -1,0 +1,254 @@
+// Lockdep-lite checker tests (src/common/lockdep.*).
+//
+// The functional surface (Mutex, MutexLock, UniqueLock, CondVar) is
+// tested in every build.  The order-checker tests are compiled only
+// under -DRT3_LOCKDEP=ON (the CI static-analysis job builds that
+// configuration and runs this binary); a default build additionally
+// proves the wrapper compiles out to the plain std primitives.
+
+#include "common/lockdep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace rt3 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Functional surface, every build.
+// ---------------------------------------------------------------------
+
+TEST(LockdepMutex, LockUnlockTryLock) {
+  Mutex mu("test.basic");
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());  // non-recursive
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(LockdepMutex, GuardsRelease) {
+  Mutex mu("test.guards");
+  {
+    MutexLock lock(mu);
+  }
+  {
+    UniqueLock lock(mu);
+    EXPECT_TRUE(lock.owns_lock());
+    lock.unlock();
+    EXPECT_FALSE(lock.owns_lock());
+    EXPECT_TRUE(mu.try_lock());  // really released early
+    mu.unlock();
+    lock.lock();
+    EXPECT_TRUE(lock.owns_lock());
+  }
+  EXPECT_TRUE(mu.try_lock());  // and released again at scope exit
+  mu.unlock();
+}
+
+TEST(LockdepCondVar, SignalsAcrossThreads) {
+  Mutex mu("test.condvar");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lock(mu);
+    while (!ready) {
+      cv.wait(lock);
+    }
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+#if !RT3_LOCKDEP
+
+// With the checker off the wrapper must be a plain std::mutex in a
+// trench coat: no extra state, so the serving path is byte-identical to
+// an uninstrumented build (the bench byte-identity cell relies on this).
+TEST(LockdepDisabled, CompilesToPlainPrimitives) {
+  EXPECT_EQ(sizeof(Mutex), sizeof(std::mutex));
+  EXPECT_EQ(sizeof(CondVar), sizeof(std::condition_variable));
+}
+
+#else  // RT3_LOCKDEP
+
+// ---------------------------------------------------------------------
+// Order checker, lockdep builds only.
+// ---------------------------------------------------------------------
+
+/// Test handler: surfaces the report as an exception instead of
+/// aborting, so EXPECT_THROW can assert on it.
+[[noreturn]] void throwing_handler(const char* report) {
+  throw std::runtime_error(report);
+}
+
+/// Runs `fn` and returns the lockdep report it triggers ("" if none).
+template <typename Fn>
+std::string report_from(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+class LockdepChecker : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockdep::reset();
+    lockdep::set_handler(&throwing_handler);
+  }
+  void TearDown() override {
+    lockdep::set_handler(nullptr);
+    lockdep::reset();
+  }
+};
+
+TEST_F(LockdepChecker, ConsistentOrderPasses) {
+  Mutex a("order.A");
+  Mutex b("order.B");
+  auto take_both = [&] {
+    MutexLock la(a);
+    MutexLock lb(b);
+  };
+  take_both();  // records A -> B
+  std::thread other(take_both);  // same order from another thread
+  other.join();
+  take_both();
+  EXPECT_EQ(lockdep::num_edges(), 1);  // one A -> B edge, deduplicated
+}
+
+TEST_F(LockdepChecker, DirectInversionReported) {
+  Mutex a("inv.A");
+  Mutex b("inv.B");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // establishes inv.A -> inv.B
+  }
+  const std::string report = report_from([&] {
+    MutexLock lb(b);
+    MutexLock la(a);  // inversion: acquiring A while holding B
+  });
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+  EXPECT_NE(report.find("inv.A"), std::string::npos) << report;
+  EXPECT_NE(report.find("inv.B"), std::string::npos) << report;
+}
+
+TEST_F(LockdepChecker, InversionReportedWithoutActualDeadlock) {
+  // The sequences never overlap in time — a real deadlock is impossible
+  // in this run — but the ORDER contract is still violated, and that is
+  // what the graph detects (and TSan structurally cannot).
+  Mutex a("nodeadlock.A");
+  Mutex b("nodeadlock.B");
+  std::thread first([&] {
+    MutexLock la(a);
+    MutexLock lb(b);
+  });
+  first.join();  // fully done before the reverse order runs
+  const std::string report = report_from([&] {
+    MutexLock lb(b);
+    MutexLock la(a);
+  });
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+}
+
+TEST_F(LockdepChecker, FirstOccurrenceIsDeterministic) {
+  // Same program order twice -> byte-identical report both times.
+  auto scenario = [&] {
+    Mutex a("det.A");
+    Mutex b("det.B");
+    {
+      MutexLock la(a);
+      MutexLock lb(b);
+    }
+    return report_from([&] {
+      MutexLock lb(b);
+      MutexLock la(a);
+    });
+  };
+  const std::string run1 = scenario();
+  lockdep::reset();
+  const std::string run2 = scenario();
+  EXPECT_FALSE(run1.empty());
+  EXPECT_EQ(run1, run2);
+}
+
+TEST_F(LockdepChecker, TransitiveCycleReported) {
+  Mutex a("chain.A");
+  Mutex b("chain.B");
+  Mutex c("chain.C");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // chain.A -> chain.B
+  }
+  {
+    MutexLock lb(b);
+    MutexLock lc(c);  // chain.B -> chain.C
+  }
+  const std::string report = report_from([&] {
+    MutexLock lc(c);
+    MutexLock la(a);  // A reaches C through B: cycle via the chain
+  });
+  EXPECT_NE(report.find("lock-order inversion"), std::string::npos) << report;
+  EXPECT_NE(report.find("chain.A -> chain.B"), std::string::npos) << report;
+  EXPECT_NE(report.find("chain.B -> chain.C"), std::string::npos) << report;
+}
+
+TEST_F(LockdepChecker, SameClassRecursionReported) {
+  // Two instances sharing one name are one lock class: nesting them is
+  // an unordered peer pair (and nesting one instance is self-deadlock).
+  Mutex first("peer.same");
+  Mutex second("peer.same");
+  const std::string report = report_from([&] {
+    MutexLock l1(first);
+    MutexLock l2(second);
+  });
+  EXPECT_NE(report.find("recursive acquisition"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("peer.same"), std::string::npos) << report;
+}
+
+TEST_F(LockdepChecker, TryLockRecordsNoEdges) {
+  Mutex a("try.A");
+  Mutex b("try.B");
+  {
+    MutexLock la(a);
+    ASSERT_TRUE(b.try_lock());  // non-blocking: cannot deadlock, no edge
+    b.unlock();
+  }
+  EXPECT_EQ(lockdep::num_edges(), 0);
+  // ...so the reverse blocking order later is NOT an inversion.
+  const std::string report = report_from([&] {
+    MutexLock lb(b);
+    MutexLock la(a);
+  });
+  EXPECT_EQ(report, "");
+  EXPECT_EQ(lockdep::num_edges(), 1);  // try.B -> try.A, the real order
+}
+
+TEST_F(LockdepChecker, ResetClearsEdges) {
+  Mutex a("reset.A");
+  Mutex b("reset.B");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_EQ(lockdep::num_edges(), 1);
+  lockdep::reset();
+  EXPECT_EQ(lockdep::num_edges(), 0);
+}
+
+#endif  // RT3_LOCKDEP
+
+}  // namespace
+}  // namespace rt3
